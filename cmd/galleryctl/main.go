@@ -1,0 +1,302 @@
+// Command galleryctl is the command-line client for a running galleryd,
+// covering the everyday Gallery workflow of paper §4.1: registering
+// models, uploading trained instances, recording metrics, searching, and
+// managing rules.
+//
+// Usage:
+//
+//	galleryctl -server http://localhost:8440 <subcommand> [args]
+//
+// Subcommands:
+//
+//	register  -base ID [-project P -name N -domain D -owner O]
+//	upload    -model UUID -blob FILE [-name N -city C -framework F]
+//	get-model UUID
+//	get       UUID
+//	blob      [-out FILE] UUID
+//	metric    -instance UUID -name N -scope S -value V
+//	search    [-project P -name N -city C -metric N -op OP -value V]
+//	lineage   BASE_VERSION_ID
+//	versions  MODEL_UUID
+//	deps      -add|-rm -from UUID -to UUID
+//	promote   VERSION_UUID
+//	deprecate -model UUID | -instance UUID
+//	rules     [-commit FILE... | -list]
+//	select    -rule UUID
+//	drift     -instance UUID -metric N
+//	health    -project P [-metric N]
+//	stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gallery/internal/api"
+	"gallery/internal/client"
+)
+
+func main() {
+	serverFlag := flag.String("server", "http://localhost:8440", "gallery server URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("usage: galleryctl [-server URL] <subcommand> [args]; see -h")
+	}
+	c := client.New(*serverFlag, nil)
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "register":
+		err = cmdRegister(c, rest)
+	case "upload":
+		err = cmdUpload(c, rest)
+	case "get-model":
+		err = one(rest, func(id string) error { return dump(c.GetModel(id)) })
+	case "get":
+		err = one(rest, func(id string) error { return dump(c.GetInstance(id)) })
+	case "blob":
+		err = cmdBlob(c, rest)
+	case "metric":
+		err = cmdMetric(c, rest)
+	case "search":
+		err = cmdSearch(c, rest)
+	case "lineage":
+		err = one(rest, func(base string) error { return dump(c.Lineage(base)) })
+	case "versions":
+		err = one(rest, func(id string) error { return dump(c.VersionHistory(id)) })
+	case "deps":
+		err = cmdDeps(c, rest)
+	case "promote":
+		err = one(rest, func(id string) error { return c.Promote(id) })
+	case "deprecate":
+		err = cmdDeprecate(c, rest)
+	case "rules":
+		err = cmdRules(c, rest)
+	case "select":
+		err = cmdSelect(c, rest)
+	case "drift":
+		err = cmdDrift(c, rest)
+	case "health":
+		err = cmdHealth(c, rest)
+	case "stats":
+		err = dump(c.Stats())
+	default:
+		fail("galleryctl: unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		fail("galleryctl: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// dump prints any (value, error) pair as indented JSON.
+func dump[T any](v T, err error) error {
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func one(args []string, f func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one argument")
+	}
+	return f(args[0])
+}
+
+func cmdRegister(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	base := fs.String("base", "", "base version id (required)")
+	project := fs.String("project", "", "project")
+	name := fs.String("name", "", "model name")
+	domain := fs.String("domain", "", "model domain")
+	owner := fs.String("owner", "", "owner")
+	major := fs.Int("major", 0, "initial major version")
+	fs.Parse(args)
+	return dump(c.RegisterModel(api.RegisterModelRequest{
+		BaseVersionID: *base, Project: *project, Name: *name,
+		Domain: *domain, Owner: *owner, InitialMajor: *major,
+	}))
+}
+
+func cmdUpload(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	model := fs.String("model", "", "model UUID (required)")
+	blobPath := fs.String("blob", "", "file with serialized model (required)")
+	name := fs.String("name", "", "instance name")
+	city := fs.String("city", "", "city")
+	framework := fs.String("framework", "", "framework")
+	training := fs.String("training-data", "", "training data pointer")
+	fs.Parse(args)
+	blob, err := os.ReadFile(*blobPath)
+	if err != nil {
+		return err
+	}
+	return dump(c.UploadInstance(api.UploadInstanceRequest{
+		ModelID: *model, Name: *name, City: *city, Framework: *framework,
+		TrainingData: *training, Blob: blob,
+	}))
+}
+
+func cmdBlob(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("blob", flag.ExitOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("blob needs an instance UUID")
+	}
+	data, err := c.FetchBlob(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func cmdMetric(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("metric", flag.ExitOnError)
+	instance := fs.String("instance", "", "instance UUID (required)")
+	name := fs.String("name", "", "metric name (required)")
+	scope := fs.String("scope", "validation", "scope: training|validation|production")
+	value := fs.Float64("value", 0, "metric value")
+	fs.Parse(args)
+	return dump(c.InsertMetric(*instance, *name, *scope, *value))
+}
+
+func cmdSearch(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	project := fs.String("project", "", "project equality filter")
+	name := fs.String("name", "", "model name equality filter")
+	city := fs.String("city", "", "city equality filter")
+	metric := fs.String("metric", "", "metric name")
+	op := fs.String("op", "smaller_than", "metric operator")
+	value := fs.Float64("value", 0, "metric threshold")
+	limit := fs.Int("limit", 0, "max results")
+	fs.Parse(args)
+	var cs []api.SearchConstraint
+	add := func(field, val string) {
+		if val != "" {
+			cs = append(cs, api.SearchConstraint{Field: field, Operator: "equal", Value: val})
+		}
+	}
+	add("projectName", *project)
+	add("modelName", *name)
+	add("city", *city)
+	if *metric != "" {
+		cs = append(cs,
+			api.SearchConstraint{Field: "metricName", Operator: "equal", Value: *metric},
+			api.SearchConstraint{Field: "metricValue", Operator: *op, Number: *value})
+	}
+	return dump(c.Search(api.SearchRequest{Constraints: cs, Limit: *limit}))
+}
+
+func cmdDeps(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("deps", flag.ExitOnError)
+	add := fs.Bool("add", false, "add a dependency")
+	rm := fs.Bool("rm", false, "remove a dependency")
+	from := fs.String("from", "", "downstream model UUID")
+	to := fs.String("to", "", "upstream model UUID")
+	fs.Parse(args)
+	switch {
+	case *add:
+		return c.AddDependency(*from, *to)
+	case *rm:
+		return c.RemoveDependency(*from, *to)
+	default:
+		return fmt.Errorf("deps needs -add or -rm")
+	}
+}
+
+func cmdDeprecate(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("deprecate", flag.ExitOnError)
+	model := fs.String("model", "", "model UUID")
+	instance := fs.String("instance", "", "instance UUID")
+	fs.Parse(args)
+	switch {
+	case *model != "":
+		return c.DeprecateModel(*model)
+	case *instance != "":
+		return c.DeprecateInstance(*instance)
+	default:
+		return fmt.Errorf("deprecate needs -model or -instance")
+	}
+}
+
+func cmdRules(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	author := fs.String("author", os.Getenv("USER"), "commit author")
+	message := fs.String("message", "galleryctl commit", "commit message")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		raw, err := c.ListRules()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	var upserts []json.RawMessage
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		upserts = append(upserts, json.RawMessage(data))
+	}
+	hash, err := c.CommitRules(*author, *message, upserts, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("committed", hash)
+	return nil
+}
+
+func cmdSelect(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	rule := fs.String("rule", "", "selection rule UUID (required)")
+	city := fs.String("city", "", "candidate city filter")
+	project := fs.String("project", "", "candidate project filter")
+	fs.Parse(args)
+	var cs []api.SearchConstraint
+	if *city != "" {
+		cs = append(cs, api.SearchConstraint{Field: "city", Operator: "equal", Value: *city})
+	}
+	if *project != "" {
+		cs = append(cs, api.SearchConstraint{Field: "projectName", Operator: "equal", Value: *project})
+	}
+	return dump(c.SelectModel(*rule, api.SearchRequest{Constraints: cs}))
+}
+
+func cmdHealth(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	project := fs.String("project", "", "project to sweep (required)")
+	metric := fs.String("metric", "mape", "error metric for drift/skew checks")
+	limit := fs.Int("limit", 0, "max instances to sweep")
+	fs.Parse(args)
+	return dump(c.CheckFleetHealth(api.FleetHealthRequest{
+		Project: *project, Metric: *metric, Limit: *limit,
+	}))
+}
+
+func cmdDrift(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	instance := fs.String("instance", "", "instance UUID (required)")
+	metric := fs.String("metric", "mape", "metric to check")
+	fs.Parse(args)
+	return dump(c.CheckDrift(*instance, api.DriftRequest{Metric: *metric}))
+}

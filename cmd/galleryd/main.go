@@ -1,0 +1,85 @@
+// Command galleryd runs the Gallery model-management service: a stateless
+// JSON/HTTP server over a durable metadata store (write-ahead logged) and
+// a replicated blob store, with the orchestration rule engine attached.
+//
+// Usage:
+//
+//	galleryd -addr :8440 -data /var/lib/gallery
+//	galleryd -addr :8440 -mem            # volatile, for demos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/core"
+	"gallery/internal/relstore"
+	"gallery/internal/rules"
+	"gallery/internal/server"
+	"gallery/internal/wal"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8440", "listen address")
+		dataDir = flag.String("data", "gallery-data", "data directory for metadata WAL and blob replicas")
+		mem     = flag.Bool("mem", false, "run fully in memory (no durability)")
+		fsync   = flag.Bool("fsync", false, "fsync the metadata WAL on every write")
+		workers = flag.Int("workers", 4, "rule engine worker goroutines")
+		compact = flag.Int64("compact-mb", 256, "compact the metadata WAL at startup when larger than this many MiB (0 disables)")
+	)
+	flag.Parse()
+
+	var (
+		meta  *relstore.Store
+		blobs *blobstore.Store
+		err   error
+	)
+	if *mem {
+		meta = relstore.NewMemory()
+		blobs = blobstore.NewMemory(blobstore.Options{})
+	} else {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("galleryd: create data dir: %v", err)
+		}
+		walPath := filepath.Join(*dataDir, "meta.wal")
+		meta, err = relstore.Open(walPath, wal.Options{Sync: *fsync})
+		if err != nil {
+			log.Fatalf("galleryd: open metadata store: %v", err)
+		}
+		defer meta.Close()
+		if *compact > 0 && meta.LogSize() > *compact<<20 {
+			before := meta.LogSize()
+			if err := meta.Compact(walPath); err != nil {
+				log.Fatalf("galleryd: compact metadata WAL: %v", err)
+			}
+			log.Printf("galleryd: compacted metadata WAL %d -> %d bytes", before, meta.LogSize())
+		}
+		blobs, err = blobstore.NewDisk(filepath.Join(*dataDir, "blobs"), blobstore.Options{})
+		if err != nil {
+			log.Fatalf("galleryd: open blob store: %v", err)
+		}
+	}
+
+	reg, err := core.New(meta, blobs, core.Options{})
+	if err != nil {
+		log.Fatalf("galleryd: init registry: %v", err)
+	}
+	repo := rules.NewRepo(nil)
+	engine := rules.NewEngine(reg, repo, nil)
+	engine.Start(*workers)
+	defer engine.Stop()
+
+	srv := server.New(reg, repo, engine)
+	models, instances, metrics := reg.Counts()
+	fmt.Printf("galleryd: serving on %s (models=%d instances=%d metrics=%d, durable=%v)\n",
+		*addr, models, instances, metrics, !*mem)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatalf("galleryd: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module gallery
+
+go 1.22

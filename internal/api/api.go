@@ -1,0 +1,249 @@
+// Package api defines the wire types of the Gallery service.
+//
+// The paper's Gallery exposes a standard set of Thrift APIs with
+// language-specific clients (§4.1); this reproduction exposes the same
+// operations as JSON over HTTP. These DTOs are shared by the server
+// (internal/server) and the Go client (internal/client), playing the role
+// of the Thrift IDL.
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Model mirrors core.Model on the wire.
+type Model struct {
+	ID            string    `json:"id"`
+	BaseVersionID string    `json:"base_version_id"`
+	Project       string    `json:"project,omitempty"`
+	Name          string    `json:"name,omitempty"`
+	Owner         string    `json:"owner,omitempty"`
+	Team          string    `json:"team,omitempty"`
+	Domain        string    `json:"domain,omitempty"`
+	Description   string    `json:"description,omitempty"`
+	Major         int       `json:"major"`
+	PrevModel     string    `json:"prev_model,omitempty"`
+	NextModel     string    `json:"next_model,omitempty"`
+	Created       time.Time `json:"created"`
+	Deprecated    bool      `json:"deprecated"`
+}
+
+// RegisterModelRequest creates a model.
+type RegisterModelRequest struct {
+	BaseVersionID string   `json:"base_version_id"`
+	Project       string   `json:"project,omitempty"`
+	Name          string   `json:"name,omitempty"`
+	Owner         string   `json:"owner,omitempty"`
+	Team          string   `json:"team,omitempty"`
+	Domain        string   `json:"domain,omitempty"`
+	Description   string   `json:"description,omitempty"`
+	InitialMajor  int      `json:"initial_major,omitempty"`
+	Upstreams     []string `json:"upstreams,omitempty"`
+}
+
+// EvolveModelRequest registers a model's successor.
+type EvolveModelRequest struct {
+	Description string `json:"description,omitempty"`
+}
+
+// Instance mirrors core.Instance on the wire.
+type Instance struct {
+	ID            string    `json:"id"`
+	ModelID       string    `json:"model_id"`
+	BaseVersionID string    `json:"base_version_id"`
+	Project       string    `json:"project,omitempty"`
+	Name          string    `json:"name,omitempty"`
+	City          string    `json:"city,omitempty"`
+	Framework     string    `json:"framework,omitempty"`
+	TrainingData  string    `json:"training_data,omitempty"`
+	CodePointer   string    `json:"code_pointer,omitempty"`
+	Seed          int64     `json:"seed,omitempty"`
+	Epochs        int64     `json:"epochs,omitempty"`
+	Hyperparams   string    `json:"hyperparams,omitempty"`
+	Features      string    `json:"features,omitempty"`
+	BlobLocation  string    `json:"blob_location,omitempty"`
+	Created       time.Time `json:"created"`
+	Deprecated    bool      `json:"deprecated"`
+}
+
+// UploadInstanceRequest uploads a trained instance. Blob carries the
+// serialized model; encoding/json base64s []byte automatically.
+type UploadInstanceRequest struct {
+	ModelID      string `json:"model_id"`
+	Name         string `json:"name,omitempty"`
+	City         string `json:"city,omitempty"`
+	Framework    string `json:"framework,omitempty"`
+	TrainingData string `json:"training_data,omitempty"`
+	CodePointer  string `json:"code_pointer,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	Epochs       int64  `json:"epochs,omitempty"`
+	Hyperparams  string `json:"hyperparams,omitempty"`
+	Features     string `json:"features,omitempty"`
+	Blob         []byte `json:"blob"`
+}
+
+// Metric mirrors core.Metric on the wire.
+type Metric struct {
+	ID         string    `json:"id"`
+	InstanceID string    `json:"instance_id"`
+	ModelID    string    `json:"model_id"`
+	Name       string    `json:"name"`
+	Scope      string    `json:"scope"`
+	Value      float64   `json:"value"`
+	At         time.Time `json:"at"`
+}
+
+// InsertMetricRequest records one measurement (paper Listing 4).
+type InsertMetricRequest struct {
+	Name  string  `json:"metric_name"`
+	Scope string  `json:"scope"`
+	Value float64 `json:"value"`
+}
+
+// InsertMetricsRequest records a whole metrics blob at once.
+type InsertMetricsRequest struct {
+	Scope  string             `json:"scope"`
+	Values map[string]float64 `json:"values"`
+}
+
+// SearchConstraint is one field/operator/value predicate, matching the
+// shape of paper Listing 5.
+type SearchConstraint struct {
+	Field    string  `json:"field"`
+	Operator string  `json:"operator"`
+	Value    string  `json:"value,omitempty"`
+	Number   float64 `json:"number,omitempty"`
+}
+
+// SearchRequest queries instances. Metadata constraints apply to instance
+// fields; metricName/metricValue constraints join against metrics.
+type SearchRequest struct {
+	Constraints       []SearchConstraint `json:"constraints"`
+	IncludeDeprecated bool               `json:"include_deprecated,omitempty"`
+	Limit             int                `json:"limit,omitempty"`
+}
+
+// VersionRecord mirrors core.VersionRecord on the wire.
+type VersionRecord struct {
+	ID          string    `json:"id"`
+	ModelID     string    `json:"model_id"`
+	Major       int       `json:"major"`
+	Minor       int       `json:"minor"`
+	Version     string    `json:"version"` // "major.minor"
+	Cause       string    `json:"cause"`
+	InstanceID  string    `json:"instance_id,omitempty"`
+	TriggeredBy string    `json:"triggered_by,omitempty"`
+	Created     time.Time `json:"created"`
+	Production  bool      `json:"production"`
+}
+
+// DependencyRequest adds or removes an edge: From depends on To.
+type DependencyRequest struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// CommitRulesRequest lands rules in the rule repository.
+type CommitRulesRequest struct {
+	Author  string            `json:"author"`
+	Message string            `json:"message"`
+	Upserts []json.RawMessage `json:"upserts,omitempty"`
+	Deletes []string          `json:"deletes,omitempty"`
+}
+
+// SelectModelRequest triggers a selection rule (paper Fig. 8, Client 1).
+type SelectModelRequest struct {
+	Filter SearchRequest `json:"filter"`
+}
+
+// DriftRequest asks for a drift check.
+type DriftRequest struct {
+	Metric    string  `json:"metric"`
+	Window    int     `json:"window,omitempty"`
+	Baseline  int     `json:"baseline,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// DriftReport mirrors core.DriftReport.
+type DriftReport struct {
+	InstanceID   string  `json:"instance_id"`
+	Metric       string  `json:"metric"`
+	BaselineMean float64 `json:"baseline_mean"`
+	RecentMean   float64 `json:"recent_mean"`
+	Degradation  float64 `json:"degradation"`
+	Drifted      bool    `json:"drifted"`
+	Samples      int     `json:"samples"`
+}
+
+// SkewRequest asks for a production-skew check.
+type SkewRequest struct {
+	Metric    string  `json:"metric"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// SkewReport mirrors core.SkewReport.
+type SkewReport struct {
+	InstanceID   string  `json:"instance_id"`
+	Metric       string  `json:"metric"`
+	OfflineScope string  `json:"offline_scope,omitempty"`
+	Offline      float64 `json:"offline"`
+	Production   float64 `json:"production"`
+	Gap          float64 `json:"gap"`
+	Skewed       bool    `json:"skewed"`
+	Checked      bool    `json:"checked"`
+}
+
+// FleetHealthRequest asks for a project-wide health sweep (§3.6 insights).
+type FleetHealthRequest struct {
+	Project string       `json:"project"`
+	Metric  string       `json:"metric,omitempty"`
+	Drift   DriftRequest `json:"drift,omitempty"`
+	Skew    SkewRequest  `json:"skew,omitempty"`
+	Limit   int          `json:"limit,omitempty"`
+}
+
+// InstanceHealth is one instance's row in a fleet health report.
+type InstanceHealth struct {
+	InstanceID   string      `json:"instance_id"`
+	ModelName    string      `json:"model_name,omitempty"`
+	City         string      `json:"city,omitempty"`
+	Completeness float64     `json:"completeness"`
+	HasMetrics   bool        `json:"has_metrics"`
+	Drift        DriftReport `json:"drift"`
+	Skew         SkewReport  `json:"skew"`
+}
+
+// FleetHealth is the sweep summary.
+type FleetHealth struct {
+	Project        string           `json:"project"`
+	Total          int              `json:"total"`
+	Drifted        int              `json:"drifted"`
+	Skewed         int              `json:"skewed"`
+	LowMetadata    int              `json:"low_metadata"`
+	MissingMetrics int              `json:"missing_metrics"`
+	Instances      []InstanceHealth `json:"instances"`
+}
+
+// Alert is one entry of the rule engine's alert log (§4.2: "alerts have
+// proven useful ... and gives engineers or ops an opportunity to
+// intervene").
+type Alert struct {
+	Time       time.Time `json:"time"`
+	RuleUUID   string    `json:"rule_uuid"`
+	InstanceID string    `json:"instance_id,omitempty"`
+	Action     string    `json:"action"`
+	Message    string    `json:"message,omitempty"`
+}
+
+// Error is the uniform error body.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Stats summarizes a running Gallery service.
+type Stats struct {
+	Models    int `json:"models"`
+	Instances int `json:"instances"`
+	Metrics   int `json:"metrics"`
+}

@@ -1,0 +1,339 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// intItem is a test item ordered by integer value.
+type intItem int
+
+func (a intItem) Less(b Item) bool { return a < b.(intItem) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Get(intItem(1)) != nil {
+		t.Fatal("Get on empty returned item")
+	}
+	if tr.Delete(intItem(1)) != nil {
+		t.Fatal("Delete on empty returned item")
+	}
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max on empty returned item")
+	}
+	count := 0
+	tr.Ascend(func(Item) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("Ascend on empty visited items")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New()
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, v := range perm {
+		if out := tr.ReplaceOrInsert(intItem(v)); out != nil {
+			t.Fatalf("insert %d returned existing %v", v, out)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := tr.Get(intItem(i)); got == nil || int(got.(intItem)) != i {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+	if tr.Get(intItem(n)) != nil {
+		t.Fatal("Get of absent key returned item")
+	}
+	// Delete in a different random order.
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for k, v := range perm2 {
+		if out := tr.Delete(intItem(v)); out == nil {
+			t.Fatalf("Delete(%d) (step %d) = nil", v, k)
+		}
+		if tr.Len() != n-k-1 {
+			t.Fatalf("Len after %d deletes = %d", k+1, tr.Len())
+		}
+	}
+}
+
+func TestReplaceReturnsOld(t *testing.T) {
+	tr := New()
+	tr.ReplaceOrInsert(intItem(5))
+	out := tr.ReplaceOrInsert(intItem(5))
+	if out == nil || out.(intItem) != 5 {
+		t.Fatalf("replace returned %v", out)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	vals := rand.New(rand.NewSource(3)).Perm(5000)
+	for _, v := range vals {
+		tr.ReplaceOrInsert(intItem(v))
+	}
+	prev := -1
+	tr.Ascend(func(it Item) bool {
+		v := int(it.(intItem))
+		if v != prev+1 {
+			t.Fatalf("ascend out of order: %d after %d", v, prev)
+		}
+		prev = v
+		return true
+	})
+	if prev != 4999 {
+		t.Fatalf("ascend visited up to %d", prev)
+	}
+}
+
+func TestDescendOrder(t *testing.T) {
+	tr := New()
+	for _, v := range rand.New(rand.NewSource(4)).Perm(2000) {
+		tr.ReplaceOrInsert(intItem(v))
+	}
+	prev := 2000
+	tr.Descend(func(it Item) bool {
+		v := int(it.(intItem))
+		if v != prev-1 {
+			t.Fatalf("descend out of order: %d after %d", v, prev)
+		}
+		prev = v
+		return true
+	})
+	if prev != 0 {
+		t.Fatalf("descend stopped at %d", prev)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.ReplaceOrInsert(intItem(i))
+	}
+	count := 0
+	tr.Ascend(func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d items, want 10", count)
+	}
+}
+
+func TestAscendGreaterOrEqual(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // evens only
+		tr.ReplaceOrInsert(intItem(i))
+	}
+	var got []int
+	tr.AscendGreaterOrEqual(intItem(50), func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	if len(got) != 25 || got[0] != 50 || got[len(got)-1] != 98 {
+		t.Fatalf("AscendGreaterOrEqual(50) = %v", got)
+	}
+	// Pivot between keys.
+	got = got[:0]
+	tr.AscendGreaterOrEqual(intItem(51), func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	if len(got) != 24 || got[0] != 52 {
+		t.Fatalf("AscendGreaterOrEqual(51) starts at %v", got[0])
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.ReplaceOrInsert(intItem(i))
+	}
+	var got []int
+	tr.AscendRange(intItem(100), intItem(110), func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	want := []int{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, v := range []int{42, 7, 99, 3, 56} {
+		tr.ReplaceOrInsert(intItem(v))
+	}
+	if m := tr.Min(); int(m.(intItem)) != 3 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m := tr.Max(); int(m.(intItem)) != 99 {
+		t.Fatalf("Max = %v", m)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.ReplaceOrInsert(intItem(i * 2))
+	}
+	if out := tr.Delete(intItem(31)); out != nil {
+		t.Fatalf("Delete(absent) = %v", out)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len changed after deleting absent key: %d", tr.Len())
+	}
+}
+
+// TestAgainstReferenceMap cross-checks a long random op sequence against a
+// plain map + sort, covering insert/delete/get interleavings that stress
+// node splits, rotations, and merges.
+func TestAgainstReferenceMap(t *testing.T) {
+	tr := New()
+	ref := make(map[int]bool)
+	rng := rand.New(rand.NewSource(5))
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := rng.Intn(2000)
+		switch rng.Intn(3) {
+		case 0: // insert
+			tr.ReplaceOrInsert(intItem(k))
+			ref[k] = true
+		case 1: // delete
+			got := tr.Delete(intItem(k))
+			if ref[k] != (got != nil) {
+				t.Fatalf("op %d: Delete(%d) presence mismatch", i, k)
+			}
+			delete(ref, k)
+		case 2: // get
+			got := tr.Get(intItem(k))
+			if ref[k] != (got != nil) {
+				t.Fatalf("op %d: Get(%d) presence mismatch", i, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref = %d", i, tr.Len(), len(ref))
+		}
+	}
+	// Final full-order check.
+	want := make([]int, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	var got []int
+	tr.Ascend(func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("final Ascend: %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final Ascend[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: for arbitrary insert sets, Ascend yields exactly the sorted
+// distinct values.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := New()
+		ref := make(map[int]bool)
+		for _, v := range vals {
+			tr.ReplaceOrInsert(intItem(int(v)))
+			ref[int(v)] = true
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var got []int
+		tr.Ascend(func(it Item) bool {
+			got = append(got, int(it.(intItem)))
+			return true
+		})
+		if !sort.IntsAreSorted(got) || len(got) != len(ref) {
+			return false
+		}
+		for _, v := range got {
+			if !ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deleting a random subset leaves exactly the complement.
+func TestQuickDeleteComplement(t *testing.T) {
+	f := func(vals []int16, dels []int16) bool {
+		tr := New()
+		ref := make(map[int]bool)
+		for _, v := range vals {
+			tr.ReplaceOrInsert(intItem(int(v)))
+			ref[int(v)] = true
+		}
+		for _, d := range dels {
+			tr.Delete(intItem(int(d)))
+			delete(ref, int(d))
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		ok := true
+		tr.Ascend(func(it Item) bool {
+			if !ref[int(it.(intItem))] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	vals := rand.New(rand.NewSource(1)).Perm(b.N)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ReplaceOrInsert(intItem(vals[i]))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 1 << 20
+	for _, v := range rand.New(rand.NewSource(1)).Perm(n) {
+		tr.ReplaceOrInsert(intItem(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(intItem(i & (n - 1)))
+	}
+}

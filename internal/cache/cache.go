@@ -1,0 +1,126 @@
+// Package cache implements the size-bounded LRU byte cache that sits in
+// Gallery's model read path.
+//
+// The paper's DAL serves model-instance blob reads through a cache updated
+// on each fetch (§3.5: "The cache is updated with the requested blob and
+// then is subsequently returned to the user"). Keys are blob locations;
+// values are the blob bytes. Eviction is least-recently-used by total byte
+// size, since instances range from a few KB to tens of GB and a count bound
+// would be meaningless.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Bytes                   int64 // current resident bytes
+	Entries                 int
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// Cache is a byte-size-bounded LRU map. It is safe for concurrent use.
+// A Cache with MaxBytes <= 0 stores nothing, which implements the
+// cache-off arm of the DAL ablation.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	stats    Stats
+}
+
+// New returns a cache bounded to maxBytes of payload.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns a copy of the cached bytes for key and whether it was present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	data := el.Value.(*entry).data
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Put inserts (or refreshes) key with a copy of data, evicting LRU entries
+// to stay within the byte bound. Values larger than the whole cache are not
+// stored at all: caching a single 10GB model must not flush everything else.
+func (c *Cache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes <= 0 || int64(len(data)) > c.maxBytes {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*entry)
+		c.bytes += int64(len(cp)) - int64(len(old.data))
+		old.data = cp
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, data: cp})
+		c.bytes += int64(len(cp))
+	}
+	for c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// Remove drops key if present, e.g. when a deprecated instance's blob is
+// garbage-collected.
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.removeElement(el)
+	c.stats.Evictions++
+}
+
+func (c *Cache) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.data))
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Bytes = c.bytes
+	st.Entries = len(c.items)
+	return st
+}

@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetMiss(t *testing.T) {
+	c := New(100)
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("Misses = %d", st.Misses)
+	}
+}
+
+func TestPutGetHit(t *testing.T) {
+	c := New(100)
+	c.Put("k", []byte("value"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "value" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Bytes != 5 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New(100)
+	c.Put("k", []byte("abc"))
+	got, _ := c.Get("k")
+	got[0] = 'X'
+	again, _ := c.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("mutating a returned value corrupted the cache")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	c := New(100)
+	data := []byte("abc")
+	c.Put("k", data)
+	data[0] = 'X'
+	got, _ := c.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("mutating the input after Put corrupted the cache")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(30)
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("c", make([]byte, 10))
+	// Touch a so b is the LRU.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("d", make([]byte, 10))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(10)
+	c.Put("small", make([]byte, 5))
+	c.Put("huge", make([]byte, 100))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversize value was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversize put flushed existing entries")
+	}
+}
+
+func TestUpdateExistingKeyAdjustsBytes(t *testing.T) {
+	c := New(100)
+	c.Put("k", make([]byte, 10))
+	c.Put("k", make([]byte, 50))
+	if st := c.Stats(); st.Bytes != 50 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Put("k", make([]byte, 5))
+	if st := c.Stats(); st.Bytes != 5 {
+		t.Fatalf("shrink: stats = %+v", st)
+	}
+}
+
+func TestUpdateTriggersEviction(t *testing.T) {
+	c := New(20)
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("b", make([]byte, 20)) // grows b to the full bound; a must go
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived over-budget update")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing after growth")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(100)
+	c.Put("k", []byte("x"))
+	c.Remove("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("removed key still present")
+	}
+	c.Remove("absent") // must not panic
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZeroCapacityCachesNothing(t *testing.T) {
+	c := New(0)
+	c.Put("k", []byte("x"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache stored a value")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("got %q for key %q", v, k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Property: resident bytes never exceed the bound, whatever the put pattern.
+func TestQuickByteBoundInvariant(t *testing.T) {
+	const bound = 256
+	f := func(ops []struct {
+		Key  uint8
+		Size uint16
+	}) bool {
+		c := New(bound)
+		for _, op := range ops {
+			c.Put(fmt.Sprintf("k%d", op.Key%16), make([]byte, int(op.Size)%300))
+			if c.Stats().Bytes > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a cached value always round-trips bit-exactly.
+func TestQuickValueFidelity(t *testing.T) {
+	c := New(1 << 20)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		key := fmt.Sprintf("q%d", i)
+		c.Put(key, data)
+		got, ok := c.Get(key)
+		return ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package client is the Go client for the Gallery service — the
+// reproduction's equivalent of the paper's language-specific Thrift
+// clients (§4.1). Every method maps to one service call.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"gallery/internal/api"
+)
+
+// Client talks to one Gallery service endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://localhost:8440"). httpClient may be nil for the default.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// APIError carries the service's error body and status code.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gallery: %d: %s", e.Status, e.Msg)
+}
+
+// do issues one request; out may be nil for statusless calls.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e api.Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{Status: resp.StatusCode, Msg: e.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Msg: string(data)}
+	}
+	if out != nil {
+		if raw, ok := out.(*[]byte); ok {
+			*raw = data
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// RegisterModel creates a model.
+func (c *Client) RegisterModel(req api.RegisterModelRequest) (api.Model, error) {
+	var m api.Model
+	err := c.do("POST", "/v1/models", req, &m)
+	return m, err
+}
+
+// GetModel fetches a model by id.
+func (c *Client) GetModel(id string) (api.Model, error) {
+	var m api.Model
+	err := c.do("GET", "/v1/models/"+id, nil, &m)
+	return m, err
+}
+
+// ModelsByBase lists model records under a base version id.
+func (c *Client) ModelsByBase(base string) ([]api.Model, error) {
+	var ms []api.Model
+	err := c.do("GET", "/v1/models?base_version_id="+url.QueryEscape(base), nil, &ms)
+	return ms, err
+}
+
+// EvolveModel registers a model's successor.
+func (c *Client) EvolveModel(id, description string) (api.Model, error) {
+	var m api.Model
+	err := c.do("POST", "/v1/models/"+id+"/evolve", api.EvolveModelRequest{Description: description}, &m)
+	return m, err
+}
+
+// Evolution returns a model's prev/next chain.
+func (c *Client) Evolution(id string) ([]api.Model, error) {
+	var ms []api.Model
+	err := c.do("GET", "/v1/models/"+id+"/evolution", nil, &ms)
+	return ms, err
+}
+
+// DeprecateModel flags a model.
+func (c *Client) DeprecateModel(id string) error {
+	return c.do("POST", "/v1/models/"+id+"/deprecate", struct{}{}, nil)
+}
+
+// VersionHistory returns a model's version records.
+func (c *Client) VersionHistory(id string) ([]api.VersionRecord, error) {
+	var vs []api.VersionRecord
+	err := c.do("GET", "/v1/models/"+id+"/versions", nil, &vs)
+	return vs, err
+}
+
+// ProductionVersion returns a model's promoted version.
+func (c *Client) ProductionVersion(id string) (api.VersionRecord, error) {
+	var v api.VersionRecord
+	err := c.do("GET", "/v1/models/"+id+"/production", nil, &v)
+	return v, err
+}
+
+// Promote makes a version the production version of its model.
+func (c *Client) Promote(versionID string) error {
+	return c.do("POST", "/v1/versions/"+versionID+"/promote", struct{}{}, nil)
+}
+
+// Upstreams lists direct dependencies of a model.
+func (c *Client) Upstreams(id string) ([]string, error) {
+	var out []string
+	err := c.do("GET", "/v1/models/"+id+"/upstreams", nil, &out)
+	return out, err
+}
+
+// Downstreams lists direct dependents of a model.
+func (c *Client) Downstreams(id string) ([]string, error) {
+	var out []string
+	err := c.do("GET", "/v1/models/"+id+"/downstreams", nil, &out)
+	return out, err
+}
+
+// AddDependency records that from depends on to.
+func (c *Client) AddDependency(from, to string) error {
+	return c.do("POST", "/v1/deps", api.DependencyRequest{From: from, To: to}, nil)
+}
+
+// RemoveDependency removes the from→to edge.
+func (c *Client) RemoveDependency(from, to string) error {
+	return c.do("DELETE", "/v1/deps", api.DependencyRequest{From: from, To: to}, nil)
+}
+
+// UploadInstance saves a trained model instance with its blob.
+func (c *Client) UploadInstance(req api.UploadInstanceRequest) (api.Instance, error) {
+	var in api.Instance
+	err := c.do("POST", "/v1/instances", req, &in)
+	return in, err
+}
+
+// GetInstance fetches instance metadata.
+func (c *Client) GetInstance(id string) (api.Instance, error) {
+	var in api.Instance
+	err := c.do("GET", "/v1/instances/"+id, nil, &in)
+	return in, err
+}
+
+// FetchBlob downloads an instance's serialized model bytes.
+func (c *Client) FetchBlob(id string) ([]byte, error) {
+	var raw []byte
+	err := c.do("GET", "/v1/instances/"+id+"/blob", nil, &raw)
+	return raw, err
+}
+
+// DeprecateInstance flags an instance.
+func (c *Client) DeprecateInstance(id string) error {
+	return c.do("POST", "/v1/instances/"+id+"/deprecate", struct{}{}, nil)
+}
+
+// InsertMetric records one measurement (paper Listing 4).
+func (c *Client) InsertMetric(instanceID, name, scope string, value float64) (api.Metric, error) {
+	var m api.Metric
+	err := c.do("POST", "/v1/instances/"+instanceID+"/metrics",
+		api.InsertMetricRequest{Name: name, Scope: scope, Value: value}, &m)
+	return m, err
+}
+
+// InsertMetrics records a metrics blob.
+func (c *Client) InsertMetrics(instanceID, scope string, values map[string]float64) error {
+	return c.do("POST", "/v1/instances/"+instanceID+"/metricset",
+		api.InsertMetricsRequest{Scope: scope, Values: values}, nil)
+}
+
+// InsertMetricsBlob ships a raw "<metric>:<value>" blob (paper §3.3.3).
+func (c *Client) InsertMetricsBlob(instanceID, scope string, blob []byte) error {
+	req, err := http.NewRequest("POST",
+		c.base+"/v1/instances/"+instanceID+"/metricsblob?scope="+url.QueryEscape(scope),
+		bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(resp.Body)
+		var e api.Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{Status: resp.StatusCode, Msg: e.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Msg: string(data)}
+	}
+	return nil
+}
+
+// CheckFleetHealth sweeps a project's instances for drift, skew, and
+// metadata completeness.
+func (c *Client) CheckFleetHealth(req api.FleetHealthRequest) (api.FleetHealth, error) {
+	var rep api.FleetHealth
+	err := c.do("POST", "/v1/health/fleet", req, &rep)
+	return rep, err
+}
+
+// MetricSeries fetches measurements of one metric for an instance.
+func (c *Client) MetricSeries(instanceID, name, scope string) ([]api.Metric, error) {
+	var ms []api.Metric
+	err := c.do("GET", "/v1/instances/"+instanceID+"/metrics?name="+url.QueryEscape(name)+
+		"&scope="+url.QueryEscape(scope), nil, &ms)
+	return ms, err
+}
+
+// Search queries instances (paper Listing 5).
+func (c *Client) Search(req api.SearchRequest) ([]api.Instance, error) {
+	var ins []api.Instance
+	err := c.do("POST", "/v1/search", req, &ins)
+	return ins, err
+}
+
+// Lineage lists instances under a base version id, oldest first.
+func (c *Client) Lineage(base string) ([]api.Instance, error) {
+	var ins []api.Instance
+	err := c.do("GET", "/v1/lineage/"+url.PathEscape(base), nil, &ins)
+	return ins, err
+}
+
+// Stats reports store sizes.
+func (c *Client) Stats() (api.Stats, error) {
+	var s api.Stats
+	err := c.do("GET", "/v1/stats", nil, &s)
+	return s, err
+}
+
+// CommitRules lands rule changes in the repository.
+func (c *Client) CommitRules(author, message string, upserts []json.RawMessage, deletes []string) (string, error) {
+	var out map[string]string
+	err := c.do("POST", "/v1/rules", api.CommitRulesRequest{
+		Author: author, Message: message, Upserts: upserts, Deletes: deletes,
+	}, &out)
+	return out["hash"], err
+}
+
+// ListRules returns the active rule set as raw JSON.
+func (c *Client) ListRules() (json.RawMessage, error) {
+	var raw []byte
+	if err := c.do("GET", "/v1/rules", nil, &raw); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
+// SelectModel triggers a selection rule and returns the champion.
+func (c *Client) SelectModel(ruleID string, filter api.SearchRequest) (api.Instance, error) {
+	var in api.Instance
+	err := c.do("POST", "/v1/rules/"+ruleID+"/select", api.SelectModelRequest{Filter: filter}, &in)
+	return in, err
+}
+
+// Alerts returns the rule engine's alert log.
+func (c *Client) Alerts() ([]api.Alert, error) {
+	var out []api.Alert
+	err := c.do("GET", "/v1/alerts", nil, &out)
+	return out, err
+}
+
+// CheckDrift runs a drift check on an instance.
+func (c *Client) CheckDrift(instanceID string, req api.DriftRequest) (api.DriftReport, error) {
+	var rep api.DriftReport
+	err := c.do("POST", "/v1/instances/"+instanceID+"/drift", req, &rep)
+	return rep, err
+}
+
+// CheckSkew runs a production-skew check on an instance.
+func (c *Client) CheckSkew(instanceID string, req api.SkewRequest) (api.SkewReport, error) {
+	var rep api.SkewReport
+	err := c.do("POST", "/v1/instances/"+instanceID+"/skew", req, &rep)
+	return rep, err
+}

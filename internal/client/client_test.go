@@ -1,0 +1,82 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gallery/internal/api"
+)
+
+func TestAPIErrorFormatting(t *testing.T) {
+	e := &APIError{Status: 404, Msg: "core: not found: model x"}
+	if got := e.Error(); !strings.Contains(got, "404") || !strings.Contains(got, "not found") {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestErrorBodyDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"core: dependency cycle"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	err := c.AddDependency("a", "b")
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if ae.Status != 409 || ae.Msg != "core: dependency cycle" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gateway exploded", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	_, err := c.Stats()
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != 502 || !strings.Contains(ae.Msg, "gateway exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConnectionRefused(t *testing.T) {
+	c := New("http://127.0.0.1:1", nil) // port 1: nothing listens
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("request to dead endpoint succeeded")
+	}
+}
+
+func TestRequestBodiesEncoded(t *testing.T) {
+	var gotPath, gotBody string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		buf := make([]byte, 4096)
+		n, _ := r.Body.Read(buf)
+		gotBody = string(buf[:n])
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"id":"00000000-0000-4000-8000-000000000000","base_version_id":"b","major":1,"created":"2019-06-01T00:00:00Z","deprecated":false}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	m, err := c.RegisterModel(api.RegisterModelRequest{BaseVersionID: "b", Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/models" {
+		t.Fatalf("path = %q", gotPath)
+	}
+	if !strings.Contains(gotBody, `"base_version_id":"b"`) || !strings.Contains(gotBody, `"project":"p"`) {
+		t.Fatalf("body = %q", gotBody)
+	}
+	if m.BaseVersionID != "b" {
+		t.Fatalf("decoded model = %+v", m)
+	}
+}

@@ -1,0 +1,56 @@
+// Package clock abstracts time for the Gallery system.
+//
+// Gallery orders model instances by creation time (paper Fig. 4 sorts
+// instances by time) and its drift detector reasons about metric history over
+// time. Experiments must be deterministic, so every component takes a Clock
+// instead of calling time.Now directly. Production uses Real; tests and the
+// benchmark harness use Mock, which only advances when told to.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Mock is a manually-advanced clock. The zero value starts at the Unix epoch;
+// use NewMock to start elsewhere. Mock is safe for concurrent use.
+type Mock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewMock returns a Mock frozen at start.
+func NewMock(start time.Time) *Mock { return &Mock{now: start} }
+
+// Now returns the mock's current instant.
+func (m *Mock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+func (m *Mock) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	return m.now
+}
+
+// Set jumps the clock to t.
+func (m *Mock) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = t
+}

@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealAdvances(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestMockFrozen(t *testing.T) {
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	m := NewMock(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), start)
+	}
+	if !m.Now().Equal(m.Now()) {
+		t.Fatal("mock clock moved without Advance")
+	}
+}
+
+func TestMockAdvance(t *testing.T) {
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	m := NewMock(start)
+	got := m.Advance(90 * time.Minute)
+	want := start.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if !m.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestMockSet(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	target := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	m.Set(target)
+	if !m.Now().Equal(target) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), target)
+	}
+}
+
+func TestMockConcurrentAdvance(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Advance(time.Second)
+		}()
+	}
+	wg.Wait()
+	if got := m.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Fatalf("after 100 concurrent 1s advances Now() = %v, want 100s", got)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"gallery/internal/uuid"
+)
+
+// The paper (§3.6): "With model performance metrics, we can derive various
+// insights about the models in Gallery." This file implements the fleet
+// health report: a holistic sweep over a project's live instances that
+// surfaces the two highlighted insights (drift, production skew) plus
+// information-completeness, giving model owners the signal and model
+// consumers the trust the paper describes.
+
+// InstanceHealth is one instance's health summary.
+type InstanceHealth struct {
+	InstanceID   uuid.UUID
+	ModelName    string
+	City         string
+	Completeness float64
+	HasMetrics   bool
+	Drift        *DriftReport
+	Skew         *SkewReport
+}
+
+// FleetHealth aggregates a project sweep.
+type FleetHealth struct {
+	Project   string
+	Instances []InstanceHealth
+
+	// Summary counts.
+	Total          int
+	Drifted        int
+	Skewed         int
+	LowMetadata    int // completeness below 0.5
+	MissingMetrics int
+}
+
+// FleetHealthConfig tunes the sweep.
+type FleetHealthConfig struct {
+	Project string
+	// Metric is the error metric to check drift and skew on (e.g. "mape").
+	Metric string
+	Drift  DriftConfig
+	Skew   SkewConfig
+	// Limit bounds how many instances are swept; 0 means all.
+	Limit int
+}
+
+// CheckFleetHealth sweeps a project's non-deprecated instances.
+func (g *Registry) CheckFleetHealth(cfg FleetHealthConfig) (*FleetHealth, error) {
+	if cfg.Metric == "" {
+		cfg.Metric = "mape"
+	}
+	cfg.Drift.Metric = cfg.Metric
+	cfg.Skew.Metric = cfg.Metric
+
+	instances, err := g.SearchInstances(InstanceFilter{Project: cfg.Project, Limit: cfg.Limit})
+	if err != nil {
+		return nil, err
+	}
+	rep := &FleetHealth{Project: cfg.Project, Total: len(instances)}
+	for _, in := range instances {
+		ih := InstanceHealth{InstanceID: in.ID, ModelName: in.Name, City: in.City}
+
+		comp, err := g.Completeness(in.ID)
+		if err != nil {
+			return nil, err
+		}
+		ih.Completeness = comp.Score
+		ih.HasMetrics = comp.HasMetrics
+		if comp.Score < 0.5 {
+			rep.LowMetadata++
+		}
+		if !comp.HasMetrics {
+			rep.MissingMetrics++
+		}
+
+		drift, err := g.CheckDrift(in.ID, cfg.Drift)
+		if err != nil {
+			return nil, err
+		}
+		ih.Drift = drift
+		if drift.Drifted {
+			rep.Drifted++
+		}
+
+		skew, err := g.CheckSkew(in.ID, cfg.Skew)
+		if err != nil {
+			return nil, err
+		}
+		ih.Skew = skew
+		if skew.Skewed {
+			rep.Skewed++
+		}
+
+		rep.Instances = append(rep.Instances, ih)
+	}
+	return rep, nil
+}

@@ -1,0 +1,633 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/clock"
+	"gallery/internal/dal"
+	"gallery/internal/relstore"
+	"gallery/internal/uuid"
+)
+
+// Sentinel errors for callers that branch on failure modes.
+var (
+	ErrNotFound   = errors.New("core: not found")
+	ErrBadSpec    = errors.New("core: invalid specification")
+	ErrCycle      = errors.New("core: dependency cycle")
+	ErrDeprecated = errors.New("core: target is deprecated")
+)
+
+// Options configures a Registry.
+type Options struct {
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// UUIDs defaults to the crypto/rand generator; seed one for
+	// deterministic experiments.
+	UUIDs *uuid.Generator
+	// CacheBytes bounds the blob read cache (default 256 MiB).
+	CacheBytes int64
+}
+
+// Registry is the Gallery service core: every API the paper's Thrift
+// surface exposes is a method here. It is safe for concurrent use;
+// multi-row operations (instance upload with version propagation,
+// dependency changes) are serialized internally and written as atomic
+// batches.
+type Registry struct {
+	dal *dal.DAL
+	clk clock.Clock
+	gen *uuid.Generator
+
+	// mu serializes read-modify-write sequences such as version bumps
+	// and dependency propagation, which span multiple store calls.
+	mu sync.Mutex
+}
+
+// New assembles a Registry over a metadata store and a blob store,
+// declaring all Gallery schemas (idempotent over a recovered store).
+func New(meta *relstore.Store, blobs *blobstore.Store, opts Options) (*Registry, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.UUIDs == nil {
+		opts.UUIDs = uuid.NewGenerator()
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 256 << 20
+	}
+	for _, s := range Schemas() {
+		if err := meta.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	d := dal.New(meta, blobs, dal.Options{
+		CacheBytes: opts.CacheBytes,
+		Refs:       []dal.BlobRef{{Table: TableInstances, LocField: "blob_location"}},
+	})
+	return &Registry{dal: d, clk: opts.Clock, gen: opts.UUIDs}, nil
+}
+
+// DAL exposes the data access layer for experiments that need its stats.
+func (g *Registry) DAL() *dal.DAL { return g.dal }
+
+func (g *Registry) now() time.Time { return g.clk.Now() }
+
+// --- models ---
+
+// RegisterModel creates a new model record with its declared dependencies
+// and an initial version record, atomically.
+func (g *Registry) RegisterModel(spec ModelSpec) (*Model, error) {
+	if spec.BaseVersionID == "" {
+		return nil, fmt.Errorf("%w: base version id is required", ErrBadSpec)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	major := spec.InitialMajor
+	if major <= 0 {
+		major = 1
+	}
+	m := &Model{
+		ID:            g.gen.New(),
+		BaseVersionID: spec.BaseVersionID,
+		Project:       spec.Project,
+		Name:          spec.Name,
+		Owner:         spec.Owner,
+		Team:          spec.Team,
+		Domain:        spec.Domain,
+		Description:   spec.Description,
+		Major:         major,
+		Created:       g.now(),
+	}
+	v := &VersionRecord{
+		ID:         g.gen.New(),
+		ModelID:    m.ID,
+		Major:      major,
+		Minor:      0,
+		Cause:      CauseRegistered,
+		Created:    g.now(),
+		Production: true,
+	}
+	m.ProductionVersion = v.ID
+	muts := []relstore.Mutation{
+		{Kind: relstore.MutInsert, Table: TableModels, Row: modelToRow(m)},
+		{Kind: relstore.MutInsert, Table: TableVersions, Row: versionToRow(v)},
+	}
+	for _, up := range spec.Upstreams {
+		if _, err := g.getModelLocked(up); err != nil {
+			return nil, fmt.Errorf("%w: upstream %s", err, up)
+		}
+		d := &Dependency{From: m.ID, To: up, Created: g.now()}
+		muts = append(muts, relstore.Mutation{Kind: relstore.MutInsert, Table: TableDeps, Row: depToRow(d)})
+	}
+	if err := g.dal.Meta().Batch(muts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GetModel fetches a model by id.
+func (g *Registry) GetModel(id uuid.UUID) (*Model, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.getModelLocked(id)
+}
+
+func (g *Registry) getModelLocked(id uuid.UUID) (*Model, error) {
+	row, err := g.dal.Meta().Get(TableModels, id.String())
+	if errors.Is(err, relstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: model %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rowToModel(row)
+}
+
+// ModelsByBase returns every model record registered under a base version
+// id, oldest first.
+func (g *Registry) ModelsByBase(baseVersionID string) ([]*Model, error) {
+	rows, err := g.dal.Meta().Select(relstore.Query{
+		Table:   TableModels,
+		Where:   []relstore.Constraint{{Field: "base_version_id", Op: relstore.OpEq, Value: relstore.String(baseVersionID)}},
+		OrderBy: "created",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rowsToModels(rows)
+}
+
+// EvolveModel registers the successor of an existing model — a change to
+// the underlying transform (new features, new architecture; paper §3.4.1).
+// The new record's major version is the predecessor's plus one, and the two
+// records are linked through next/previous pointers (§3.3.1).
+func (g *Registry) EvolveModel(prevID uuid.UUID, description string) (*Model, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	prev, err := g.getModelLocked(prevID)
+	if err != nil {
+		return nil, err
+	}
+	if !prev.NextModel.IsNil() {
+		return nil, fmt.Errorf("%w: model %s already has a successor %s", ErrBadSpec, prevID, prev.NextModel)
+	}
+	next := &Model{
+		ID:            g.gen.New(),
+		BaseVersionID: prev.BaseVersionID,
+		Project:       prev.Project,
+		Name:          prev.Name,
+		Owner:         prev.Owner,
+		Team:          prev.Team,
+		Domain:        prev.Domain,
+		Description:   description,
+		Major:         prev.Major + 1,
+		PrevModel:     prev.ID,
+		Created:       g.now(),
+	}
+	prev.NextModel = next.ID
+	v := &VersionRecord{
+		ID:         g.gen.New(),
+		ModelID:    next.ID,
+		Major:      next.Major,
+		Minor:      0,
+		Cause:      CauseRegistered,
+		Created:    g.now(),
+		Production: true,
+	}
+	next.ProductionVersion = v.ID
+	// The evolved model inherits its predecessor's dependencies.
+	ups, err := g.upstreamsLocked(prev.ID)
+	if err != nil {
+		return nil, err
+	}
+	muts := []relstore.Mutation{
+		{Kind: relstore.MutInsert, Table: TableModels, Row: modelToRow(next)},
+		{Kind: relstore.MutUpdate, Table: TableModels, Row: modelToRow(prev)},
+		{Kind: relstore.MutInsert, Table: TableVersions, Row: versionToRow(v)},
+	}
+	for _, up := range ups {
+		d := &Dependency{From: next.ID, To: up, Created: g.now()}
+		muts = append(muts, relstore.Mutation{Kind: relstore.MutInsert, Table: TableDeps, Row: depToRow(d)})
+	}
+	if err := g.dal.Meta().Batch(muts); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Evolution returns the full prev/next chain containing model id, oldest
+// first.
+func (g *Registry) Evolution(id uuid.UUID) ([]*Model, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, err := g.getModelLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	// Walk to the head.
+	head := m
+	for !head.PrevModel.IsNil() {
+		prev, err := g.getModelLocked(head.PrevModel)
+		if err != nil {
+			return nil, err
+		}
+		head = prev
+	}
+	var chain []*Model
+	for cur := head; ; {
+		chain = append(chain, cur)
+		if cur.NextModel.IsNil() {
+			break
+		}
+		next, err := g.getModelLocked(cur.NextModel)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return chain, nil
+}
+
+// DeprecateModel flags a model as deprecated. It is not deleted: existing
+// consumers keep working until they migrate (paper §3.7, Model
+// Deprecation).
+func (g *Registry) DeprecateModel(id uuid.UUID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, err := g.getModelLocked(id)
+	if err != nil {
+		return err
+	}
+	m.Deprecated = true
+	return g.dal.Meta().Update(TableModels, modelToRow(m))
+}
+
+// --- instances ---
+
+// UploadInstance saves a trained model instance: the blob is written to
+// blob storage first, then the instance row, its version record, and all
+// dependency-propagated version bumps land in one atomic metadata batch
+// (paper §3.5 write ordering; §3.4.2 propagation). The returned instance
+// carries its assigned UUID and blob location.
+func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, err := g.getModelLocked(spec.ModelID)
+	if err != nil {
+		return nil, err
+	}
+
+	in := &Instance{
+		ID:            g.gen.New(),
+		ModelID:       m.ID,
+		BaseVersionID: m.BaseVersionID,
+		Project:       m.Project,
+		Name:          spec.Name,
+		City:          spec.City,
+		Framework:     spec.Framework,
+		TrainingData:  spec.TrainingData,
+		CodePointer:   spec.CodePointer,
+		Seed:          spec.Seed,
+		Epochs:        spec.Epochs,
+		Hyperparams:   spec.Hyperparams,
+		Features:      spec.Features,
+		Created:       g.now(),
+	}
+
+	// Blob first: if this fails nothing is recorded.
+	loc, err := g.dal.Blobs().Put(in.ID.String(), blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: blob write for instance %s: %w", in.ID, err)
+	}
+	in.BlobLocation = loc
+
+	muts := []relstore.Mutation{
+		{Kind: relstore.MutInsert, Table: TableInstances, Row: instanceToRow(in)},
+	}
+	// The owning model gets a retrained version; downstreams get
+	// dep_update versions, none of them promoted to production.
+	bumps, err := g.versionBumpsLocked(m.ID, CauseRetrained, in.ID, uuid.Nil)
+	if err != nil {
+		return nil, err
+	}
+	muts = append(muts, bumps...)
+	if err := g.dal.Meta().Batch(muts); err != nil {
+		// The blob is now an orphan; the DAL garbage collector reclaims it.
+		return nil, fmt.Errorf("core: metadata write for instance %s (blob orphaned): %w", in.ID, err)
+	}
+	return in, nil
+}
+
+// GetInstance fetches instance metadata by id.
+func (g *Registry) GetInstance(id uuid.UUID) (*Instance, error) {
+	row, err := g.dal.Meta().Get(TableInstances, id.String())
+	if errors.Is(err, relstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: instance %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rowToInstance(row)
+}
+
+// FetchBlob returns the serialized model bytes for an instance, through
+// the DAL's read cache.
+func (g *Registry) FetchBlob(id uuid.UUID) ([]byte, error) {
+	in, err := g.GetInstance(id)
+	if err != nil {
+		return nil, err
+	}
+	if in.BlobLocation == "" {
+		return nil, fmt.Errorf("%w: instance %s has no blob", ErrNotFound, id)
+	}
+	return g.dal.GetBlob(in.BlobLocation)
+}
+
+// DeprecateInstance flags an instance; fetching by id still works, but
+// default searches skip it.
+func (g *Registry) DeprecateInstance(id uuid.UUID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	row, err := g.dal.Meta().Get(TableInstances, id.String())
+	if errors.Is(err, relstore.ErrNotFound) {
+		return fmt.Errorf("%w: instance %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return err
+	}
+	row["deprecated"] = relstore.Bool(true)
+	return g.dal.Meta().Update(TableInstances, row)
+}
+
+// Lineage returns every instance trained under a base version id, sorted
+// by creation time — the traversal of paper Fig. 4.
+func (g *Registry) Lineage(baseVersionID string) ([]*Instance, error) {
+	rows, err := g.dal.Meta().Select(relstore.Query{
+		Table:   TableInstances,
+		Where:   []relstore.Constraint{{Field: "base_version_id", Op: relstore.OpEq, Value: relstore.String(baseVersionID)}},
+		OrderBy: "created",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rowsToInstances(rows)
+}
+
+// --- metrics ---
+
+// InsertMetric records one evaluation measurement for an instance.
+func (g *Registry) InsertMetric(instanceID uuid.UUID, name string, scope Scope, value float64) (*Metric, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: metric name is required", ErrBadSpec)
+	}
+	if !ValidScope(scope) {
+		return nil, fmt.Errorf("%w: unknown scope %q", ErrBadSpec, scope)
+	}
+	in, err := g.GetInstance(instanceID)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metric{
+		ID:         g.gen.New(),
+		InstanceID: instanceID,
+		ModelID:    in.ModelID,
+		Name:       name,
+		Scope:      scope,
+		Value:      value,
+		At:         g.now(),
+	}
+	if err := g.dal.Meta().Insert(TableMetrics, metricToRow(m)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// InsertMetrics records a whole "<metric>:<value>" blob (paper §3.3.3) as
+// individual queryable rows.
+func (g *Registry) InsertMetrics(instanceID uuid.UUID, scope Scope, values map[string]float64) error {
+	// Deterministic order so failures are reproducible.
+	names := make([]string, 0, len(values))
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := g.InsertMetric(instanceID, n, scope, values[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricSeries returns an instance's measurements of one metric in one
+// scope, oldest first.
+func (g *Registry) MetricSeries(instanceID uuid.UUID, name string, scope Scope) ([]*Metric, error) {
+	rows, err := g.dal.Meta().Select(relstore.Query{
+		Table: TableMetrics,
+		Where: []relstore.Constraint{
+			{Field: "instance_id", Op: relstore.OpEq, Value: relstore.String(instanceID.String())},
+			{Field: "name", Op: relstore.OpEq, Value: relstore.String(name)},
+			{Field: "scope", Op: relstore.OpEq, Value: relstore.String(string(scope))},
+		},
+		OrderBy: "created",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rowsToMetrics(rows)
+}
+
+// LatestMetrics returns the most recent value of every metric name
+// reported for an instance in a scope — the environment a rule condition
+// evaluates against.
+func (g *Registry) LatestMetrics(instanceID uuid.UUID, scope Scope) (map[string]float64, error) {
+	rows, err := g.dal.Meta().Select(relstore.Query{
+		Table: TableMetrics,
+		Where: []relstore.Constraint{
+			{Field: "instance_id", Op: relstore.OpEq, Value: relstore.String(instanceID.String())},
+			{Field: "scope", Op: relstore.OpEq, Value: relstore.String(string(scope))},
+		},
+		OrderBy: "created",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, r := range rows { // ascending by time: later rows overwrite
+		out[r["name"].Str] = r["value"].Float
+	}
+	return out, nil
+}
+
+// --- search ---
+
+// InstanceFilter expresses a model search (paper Listing 5): metadata
+// constraints plus an optional metric condition, joined on instance id.
+type InstanceFilter struct {
+	Project       string
+	Name          string
+	City          string
+	BaseVersionID string
+	ModelID       uuid.UUID
+	Framework     string
+	CreatedAfter  time.Time
+	CreatedBefore time.Time
+
+	// Metric condition: instances having any metric row with this name
+	// (and scope, if set) whose value satisfies MetricOp MetricValue.
+	MetricName  string
+	MetricScope Scope
+	MetricOp    relstore.Op
+	MetricValue float64
+
+	// IncludeDeprecated keeps flagged instances in results; by default
+	// they are skipped (paper §3.7).
+	IncludeDeprecated bool
+	Limit             int
+	// ForceScan disables index use (search ablation).
+	ForceScan bool
+}
+
+// SearchInstances runs a metadata/metric search and returns matching
+// instances, newest first.
+func (g *Registry) SearchInstances(f InstanceFilter) ([]*Instance, error) {
+	var where []relstore.Constraint
+	addEq := func(field, val string) {
+		if val != "" {
+			where = append(where, relstore.Constraint{Field: field, Op: relstore.OpEq, Value: relstore.String(val)})
+		}
+	}
+	addEq("project", f.Project)
+	addEq("name", f.Name)
+	addEq("city", f.City)
+	addEq("base_version_id", f.BaseVersionID)
+	addEq("framework", f.Framework)
+	if !f.ModelID.IsNil() {
+		addEq("model_id", f.ModelID.String())
+	}
+	if !f.CreatedAfter.IsZero() {
+		where = append(where, relstore.Constraint{Field: "created", Op: relstore.OpGt, Value: relstore.Time(f.CreatedAfter)})
+	}
+	if !f.CreatedBefore.IsZero() {
+		where = append(where, relstore.Constraint{Field: "created", Op: relstore.OpLt, Value: relstore.Time(f.CreatedBefore)})
+	}
+	if !f.IncludeDeprecated {
+		where = append(where, relstore.Constraint{Field: "deprecated", Op: relstore.OpEq, Value: relstore.Bool(false)})
+	}
+
+	// Resolve the metric condition to an instance-id set first, if present.
+	var allowed map[string]bool
+	if f.MetricName != "" {
+		mwhere := []relstore.Constraint{
+			{Field: "name", Op: relstore.OpEq, Value: relstore.String(f.MetricName)},
+			{Field: "value", Op: f.MetricOp, Value: relstore.Float(f.MetricValue)},
+		}
+		if f.MetricScope != "" {
+			mwhere = append(mwhere, relstore.Constraint{Field: "scope", Op: relstore.OpEq, Value: relstore.String(string(f.MetricScope))})
+		}
+		mrows, err := g.dal.Meta().Select(relstore.Query{Table: TableMetrics, Where: mwhere, ForceScan: f.ForceScan})
+		if err != nil {
+			return nil, err
+		}
+		allowed = make(map[string]bool, len(mrows))
+		for _, r := range mrows {
+			allowed[r["instance_id"].Str] = true
+		}
+	}
+
+	q := relstore.Query{
+		Table:     TableInstances,
+		Where:     where,
+		OrderBy:   "created",
+		Desc:      true,
+		ForceScan: f.ForceScan,
+	}
+	// The limit can only be pushed into the store when no metric join
+	// filters rows afterwards.
+	if allowed == nil {
+		q.Limit = f.Limit
+	}
+	rows, err := g.dal.Meta().Select(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Instance
+	for _, r := range rows {
+		if allowed != nil && !allowed[r["id"].Str] {
+			continue
+		}
+		in, err := rowToInstance(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Counts reports table sizes for scale experiments.
+func (g *Registry) Counts() (models, instances, metrics int) {
+	models, _ = g.dal.Meta().Len(TableModels)
+	instances, _ = g.dal.Meta().Len(TableInstances)
+	metrics, _ = g.dal.Meta().Len(TableMetrics)
+	return
+}
+
+// --- conversion helpers ---
+
+func rowsToModels(rows []relstore.Row) ([]*Model, error) {
+	out := make([]*Model, 0, len(rows))
+	for _, r := range rows {
+		m, err := rowToModel(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func rowsToInstances(rows []relstore.Row) ([]*Instance, error) {
+	out := make([]*Instance, 0, len(rows))
+	for _, r := range rows {
+		in, err := rowToInstance(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func rowsToMetrics(rows []relstore.Row) ([]*Metric, error) {
+	out := make([]*Metric, 0, len(rows))
+	for _, r := range rows {
+		m, err := rowToMetric(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func rowsToVersions(rows []relstore.Row) ([]*VersionRecord, error) {
+	out := make([]*VersionRecord, 0, len(rows))
+	for _, r := range rows {
+		v, err := rowToVersion(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

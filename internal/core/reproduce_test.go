@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gallery/internal/uuid"
+)
+
+// fakeTrain deterministically derives "model bytes" from the recorded
+// recipe, standing in for a real training pipeline: same recipe + same
+// seed => same bytes.
+func fakeTrain(recipe *Instance) ([]byte, error) {
+	if recipe.TrainingData == "" {
+		return nil, errors.New("no training data pointer recorded")
+	}
+	rng := rand.New(rand.NewSource(recipe.Seed))
+	out := []byte(fmt.Sprintf("model(%s|%s|%d|", recipe.TrainingData, recipe.Hyperparams, recipe.Epochs))
+	for i := 0; i < 32; i++ {
+		out = append(out, byte(rng.Intn(256)))
+	}
+	return out, nil
+}
+
+func TestReproduceExactWithSeed(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "repro")
+	// Upload the blob the pipeline would have produced.
+	spec := InstanceSpec{
+		ModelID: m.ID, Name: "forecaster", City: "sf",
+		Framework: "fake", TrainingData: "hdfs://data/v7",
+		CodePointer: "git://train@abc", Seed: 42, Epochs: 10,
+		Hyperparams: `{"lags":24}`, Features: "hour,dow",
+	}
+	pipelineOut, err := fakeTrain(&Instance{
+		TrainingData: spec.TrainingData, Hyperparams: spec.Hyperparams,
+		Epochs: spec.Epochs, Seed: spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := h.g.UploadInstance(spec, pipelineOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, rebuilt, err := h.g.Reproduce(in.ID, fakeTrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact {
+		t.Fatalf("rebuild not exact: %+v", rep)
+	}
+	if len(rebuilt) != rep.RebuiltSize || rep.RebuiltSize != rep.OriginalSize {
+		t.Fatalf("sizes inconsistent: %+v", rep)
+	}
+	if len(rep.RecipeGaps) != 0 {
+		t.Fatalf("gaps = %v", rep.RecipeGaps)
+	}
+}
+
+func TestReproduceInexactWithoutSeedControl(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "repro")
+	spec := InstanceSpec{
+		ModelID: m.ID, TrainingData: "hdfs://data/v7", Seed: 42,
+		Hyperparams: `{"lags":24}`, Epochs: 10,
+	}
+	orig, err := fakeTrain(&Instance{TrainingData: spec.TrainingData,
+		Hyperparams: spec.Hyperparams, Epochs: spec.Epochs, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := h.g.UploadInstance(spec, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trainer that ignores the recorded seed — the paper's "randomness
+	// introduced in training" case.
+	uncontrolled := func(recipe *Instance) ([]byte, error) {
+		cp := *recipe
+		cp.Seed = recipe.Seed + 1
+		return fakeTrain(&cp)
+	}
+	rep, _, err := h.g.Reproduce(in.ID, uncontrolled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exact {
+		t.Fatal("uncontrolled randomness reproduced exactly")
+	}
+	if rep.OriginalSize != rep.RebuiltSize {
+		t.Fatalf("same recipe shape should give same size: %+v", rep)
+	}
+}
+
+func TestReproduceReportsRecipeGaps(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "repro")
+	in, err := h.g.UploadInstance(InstanceSpec{
+		ModelID: m.ID, TrainingData: "hdfs://data/v7", Seed: 1,
+	}, []byte("whatever"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := h.g.Reproduce(in.ID, func(recipe *Instance) ([]byte, error) {
+		return []byte("rebuilt"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RecipeGaps) == 0 {
+		t.Fatal("missing metadata not surfaced")
+	}
+}
+
+func TestReproduceTrainerFailure(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "repro")
+	in, err := h.g.UploadInstance(InstanceSpec{ModelID: m.ID}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.g.Reproduce(in.ID, fakeTrain); err == nil {
+		t.Fatal("trainer failure not propagated")
+	}
+}
+
+func TestReproduceUnknownInstance(t *testing.T) {
+	h := newHarness(t)
+	if _, _, err := h.g.Reproduce(uuid.New(), fakeTrain); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

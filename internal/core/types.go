@@ -1,0 +1,181 @@
+// Package core implements the Gallery model-management system itself: the
+// data model of models, model instances, and performance metrics (paper
+// §3.3, Fig. 3), Git-style UUID versioning with base-version-id lineage
+// (§3.4.1, Fig. 4), dependency tracking with automatic version propagation
+// (§3.4.2, Figs. 5–7), metadata search (§3.5), deprecation (§3.7), and
+// model health — drift and production skew (§3.6).
+//
+// Everything in Gallery is immutable: models, instances, and metrics are
+// only ever added, never changed in place. The only mutable state is
+// operational — deprecation flags, production pointers — which the paper
+// also treats as flags rather than edits.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gallery/internal/uuid"
+)
+
+// Model is the abstract data transformation (paper §2): the specification
+// of a solution to a problem, independent of any trained coefficients.
+// A model's BaseVersionID groups all model records and instances that
+// solve the same problem; PrevModel/NextModel link the evolution chain.
+type Model struct {
+	ID            uuid.UUID
+	BaseVersionID string // user-declared, e.g. "demand_conversion"
+	Project       string
+	Name          string // e.g. "linear_regression"
+	Owner         string
+	Team          string
+	Domain        string // e.g. "UberX"
+	Description   string
+
+	// Major is the model-level display version; the dependency graph
+	// renders a model's state as Major.Minor (paper Figs. 5–7). Minor is
+	// the latest version counter, denormalized onto the model row so a
+	// version bump is O(1) regardless of history length — the property
+	// that keeps uploads fast at the paper's million-instance scale.
+	Major int
+	Minor int
+
+	// ProductionVersion points at the currently promoted version record.
+	ProductionVersion uuid.UUID
+
+	// Evolution pointers (paper §3.3.1).
+	PrevModel uuid.UUID
+	NextModel uuid.UUID
+
+	Created    time.Time
+	Deprecated bool
+}
+
+// Version renders the model's current display version as "major.minor".
+func (m *Model) Version(minor int) string { return fmt.Sprintf("%d.%d", m.Major, minor) }
+
+// ModelSpec is the caller-supplied part of a new model registration.
+type ModelSpec struct {
+	BaseVersionID string
+	Project       string
+	Name          string
+	Owner         string
+	Team          string
+	Domain        string
+	Description   string
+	// InitialMajor seeds the display version; 1 if zero.
+	InitialMajor int
+	// Upstreams declares dependencies on existing models at registration
+	// (paper §3.4.2: "dependencies ... are established by the user when
+	// models are first registered").
+	Upstreams []uuid.UUID
+}
+
+// Instance is a trained realization of a model (paper §3.3.2): an opaque
+// blob plus the metadata needed to reproduce and serve it.
+type Instance struct {
+	ID            uuid.UUID
+	ModelID       uuid.UUID
+	BaseVersionID string
+	Project       string
+	Name          string // e.g. "Random Forest" (paper Listing 3)
+	City          string // Gallery shards marketplace models by city
+
+	// Reproducibility metadata (paper §3.3.4, §6.2).
+	Framework    string // e.g. "SparkML"
+	TrainingData string // dataset pointer + version
+	CodePointer  string // training code reference
+	Seed         int64
+	Epochs       int64
+	Hyperparams  string // opaque encoded hyperparameters
+	Features     string // opaque encoded feature list
+
+	// BlobLocation is where the serialized model lives; set by Gallery.
+	BlobLocation string
+
+	Created    time.Time
+	Deprecated bool
+}
+
+// InstanceSpec is the caller-supplied part of an instance upload. The blob
+// itself travels separately so the registry can enforce blob-first writes.
+type InstanceSpec struct {
+	ModelID      uuid.UUID
+	Name         string
+	City         string
+	Framework    string
+	TrainingData string
+	CodePointer  string
+	Seed         int64
+	Epochs       int64
+	Hyperparams  string
+	Features     string
+}
+
+// Scope classifies a performance metric by lifecycle stage (paper §3.6).
+type Scope string
+
+// Metric scopes.
+const (
+	ScopeTraining   Scope = "training"
+	ScopeValidation Scope = "validation"
+	ScopeProduction Scope = "production"
+)
+
+// ValidScope reports whether s is one of the defined scopes.
+func ValidScope(s Scope) bool {
+	return s == ScopeTraining || s == ScopeValidation || s == ScopeProduction
+}
+
+// Metric is one evaluation measurement of a model instance. The paper
+// stores metrics as "<metric>:<value>" blobs; the registry flattens each
+// pair into one queryable row, which is what makes rule conditions like
+// metrics.bias <= 0.1 searchable.
+type Metric struct {
+	ID         uuid.UUID
+	InstanceID uuid.UUID
+	ModelID    uuid.UUID
+	Name       string // e.g. "mape", "bias", "r2"
+	Scope      Scope
+	Value      float64
+	At         time.Time
+}
+
+// VersionCause explains why a version record exists (paper Figs. 6–7).
+type VersionCause string
+
+// Version causes.
+const (
+	CauseRegistered VersionCause = "registered"         // model created
+	CauseRetrained  VersionCause = "retrained"          // new owned instance
+	CauseDepUpdate  VersionCause = "dep_update"         // an upstream produced a new version
+	CauseDepAdded   VersionCause = "dependency_added"   // a new upstream edge
+	CauseDepRemoved VersionCause = "dependency_removed" // an upstream edge removed
+)
+
+// VersionRecord is one entry in a model's version history. Dependency
+// propagation adds records without touching production (paper §3.4.2:
+// "without changing the production versions"); the owner promotes one
+// explicitly.
+type VersionRecord struct {
+	ID         uuid.UUID
+	ModelID    uuid.UUID
+	Major      int
+	Minor      int
+	Cause      VersionCause
+	InstanceID uuid.UUID // instance realizing this version, if any
+	// TriggeredBy is the model whose change caused a dep_update, if any.
+	TriggeredBy uuid.UUID
+	Created     time.Time
+	Production  bool
+}
+
+// String renders the display version, e.g. "4.2".
+func (v *VersionRecord) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// Dependency is one edge: From depends on (consumes the output of) To.
+type Dependency struct {
+	From    uuid.UUID // downstream
+	To      uuid.UUID // upstream
+	Created time.Time
+}

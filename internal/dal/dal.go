@@ -1,0 +1,196 @@
+// Package dal implements Gallery's unified data access layer.
+//
+// The paper (§3.5) accesses model storage through one DAL that combines a
+// relational store for metadata/metrics with a blob store for model
+// binaries, plus a cache on the blob read path. Its central consistency
+// rule: "we always write model blobs first and only write the model
+// metadata after the model blobs are successfully stored." A crash between
+// the two writes can only leave an orphaned blob — invisible to the system
+// and collectable by GC — never metadata pointing at a missing blob.
+//
+// This package reproduces that rule, the cached read path, and the orphan
+// collector, and (for the write-ordering ablation) also exposes the unsafe
+// metadata-first ordering so the experiment in DESIGN.md A3 can count the
+// dangling references it produces.
+package dal
+
+import (
+	"errors"
+	"fmt"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/cache"
+	"gallery/internal/relstore"
+)
+
+// ErrDanglingMetadata reports metadata whose blob is missing — the failure
+// mode blob-first ordering exists to prevent.
+var ErrDanglingMetadata = errors.New("dal: metadata references a missing blob")
+
+// BlobRef declares that rows of Table reference blob locations in LocField.
+// The orphan collector uses these declarations to compute reachability.
+type BlobRef struct {
+	Table    string
+	LocField string
+}
+
+// Options configures a DAL.
+type Options struct {
+	// CacheBytes bounds the blob read cache; 0 disables caching
+	// (the cache ablation's off arm).
+	CacheBytes int64
+	// Refs lists every table/field pair that stores blob locations.
+	Refs []BlobRef
+}
+
+// DAL is the data access layer. It is safe for concurrent use.
+type DAL struct {
+	meta  *relstore.Store
+	blobs *blobstore.Store
+	cache *cache.Cache
+	refs  []BlobRef
+}
+
+// New assembles a DAL over the given stores.
+func New(meta *relstore.Store, blobs *blobstore.Store, opts Options) *DAL {
+	return &DAL{
+		meta:  meta,
+		blobs: blobs,
+		cache: cache.New(opts.CacheBytes),
+		refs:  opts.Refs,
+	}
+}
+
+// Meta exposes the metadata store for queries.
+func (d *DAL) Meta() *relstore.Store { return d.meta }
+
+// Blobs exposes the blob store, mainly for stats in experiments.
+func (d *DAL) Blobs() *blobstore.Store { return d.blobs }
+
+// InsertWithBlob writes blob under blobKey, then inserts row with the
+// blob's location in locField — the paper's blob-first ordering. If the
+// metadata insert fails the blob is left behind as an orphan; it is
+// unreachable and a later CollectOrphans reclaims it.
+func (d *DAL) InsertWithBlob(table string, row relstore.Row, locField, blobKey string, blob []byte) (string, error) {
+	loc, err := d.blobs.Put(blobKey, blob)
+	if err != nil {
+		return "", fmt.Errorf("dal: blob write failed, nothing recorded: %w", err)
+	}
+	row = row.Clone()
+	row[locField] = relstore.String(loc)
+	if err := d.meta.Insert(table, row); err != nil {
+		return "", fmt.Errorf("dal: metadata write failed, blob %s orphaned: %w", blobKey, err)
+	}
+	return loc, nil
+}
+
+// InsertMetadataFirst is the deliberately unsafe ordering for the A3
+// ablation: metadata goes in before the blob, so a blob-write failure
+// leaves metadata pointing at nothing.
+func (d *DAL) InsertMetadataFirst(table string, row relstore.Row, locField, blobKey string, blob []byte) (string, error) {
+	loc := d.blobs.Location(blobKey)
+	row = row.Clone()
+	row[locField] = relstore.String(loc)
+	if err := d.meta.Insert(table, row); err != nil {
+		return "", err
+	}
+	if _, err := d.blobs.Put(blobKey, blob); err != nil {
+		return "", fmt.Errorf("%w: %s: %v", ErrDanglingMetadata, loc, err)
+	}
+	return loc, nil
+}
+
+// GetBlob fetches blob bytes by location through the cache.
+func (d *DAL) GetBlob(location string) ([]byte, error) {
+	if data, ok := d.cache.Get(location); ok {
+		return data, nil
+	}
+	data, err := d.blobs.Get(location)
+	if err != nil {
+		return nil, err
+	}
+	d.cache.Put(location, data)
+	return data, nil
+}
+
+// DeleteBlob removes a blob and its cache entry.
+func (d *DAL) DeleteBlob(location string) error {
+	d.cache.Remove(location)
+	return d.blobs.Delete(location)
+}
+
+// CacheStats reports blob-cache effectiveness.
+func (d *DAL) CacheStats() cache.Stats { return d.cache.Stats() }
+
+// referenced returns the set of blob locations reachable from metadata.
+func (d *DAL) referenced() (map[string]bool, error) {
+	refs := make(map[string]bool)
+	for _, r := range d.refs {
+		rows, err := d.meta.Select(relstore.Query{Table: r.Table})
+		if err != nil {
+			return nil, fmt.Errorf("dal: scan %s for blob refs: %w", r.Table, err)
+		}
+		for _, row := range rows {
+			if v, ok := row[r.LocField]; ok && v.Kind == relstore.KindString && v.Str != "" {
+				refs[v.Str] = true
+			}
+		}
+	}
+	return refs, nil
+}
+
+// Orphans lists blob locations present in the blob store but referenced by
+// no metadata row.
+func (d *DAL) Orphans() ([]string, error) {
+	refs, err := d.referenced()
+	if err != nil {
+		return nil, err
+	}
+	var orphans []string
+	for _, key := range d.blobs.Keys() {
+		loc := d.blobs.Location(key)
+		if !refs[loc] {
+			orphans = append(orphans, loc)
+		}
+	}
+	return orphans, nil
+}
+
+// CollectOrphans deletes all orphaned blobs and returns how many it
+// reclaimed.
+func (d *DAL) CollectOrphans() (int, error) {
+	orphans, err := d.Orphans()
+	if err != nil {
+		return 0, err
+	}
+	for _, loc := range orphans {
+		if err := d.DeleteBlob(loc); err != nil {
+			return 0, fmt.Errorf("dal: collect %s: %w", loc, err)
+		}
+	}
+	return len(orphans), nil
+}
+
+// Dangling lists metadata rows whose blob location cannot be fetched — the
+// corruption class that blob-first ordering prevents. Experiments use it to
+// verify the invariant (zero under blob-first) and to quantify the
+// metadata-first ablation.
+func (d *DAL) Dangling() ([]string, error) {
+	var dangling []string
+	for _, r := range d.refs {
+		rows, err := d.meta.Select(relstore.Query{Table: r.Table})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			v, ok := row[r.LocField]
+			if !ok || v.Kind != relstore.KindString || v.Str == "" {
+				continue
+			}
+			if _, err := d.blobs.Get(v.Str); err != nil {
+				dangling = append(dangling, v.Str)
+			}
+		}
+	}
+	return dangling, nil
+}

@@ -1,0 +1,249 @@
+package dal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/relstore"
+)
+
+func schema() relstore.Schema {
+	return relstore.Schema{
+		Table: "instances",
+		Columns: []relstore.Column{
+			{Name: "id", Kind: relstore.KindString},
+			{Name: "blob_location", Kind: relstore.KindString, Nullable: true},
+			{Name: "created", Kind: relstore.KindTime},
+		},
+		Key:     "id",
+		Indexes: []string{"blob_location"},
+	}
+}
+
+var t0 = time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newDAL(t *testing.T, hook blobstore.FaultHook, cacheBytes int64) *DAL {
+	t.Helper()
+	meta := relstore.NewMemory()
+	if err := meta.CreateTable(schema()); err != nil {
+		t.Fatal(err)
+	}
+	blobs := blobstore.NewMemory(blobstore.Options{Hook: hook})
+	return New(meta, blobs, Options{
+		CacheBytes: cacheBytes,
+		Refs:       []BlobRef{{Table: "instances", LocField: "blob_location"}},
+	})
+}
+
+func instRow(id string) relstore.Row {
+	return relstore.Row{"id": relstore.String(id), "created": relstore.Time(t0)}
+}
+
+func TestInsertWithBlobHappyPath(t *testing.T) {
+	d := newDAL(t, nil, 1<<20)
+	loc, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1", []byte("model-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := d.Meta().Get("instances", "i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["blob_location"].Str != loc {
+		t.Fatalf("metadata location = %q, want %q", row["blob_location"].Str, loc)
+	}
+	data, err := d.GetBlob(loc)
+	if err != nil || string(data) != "model-bytes" {
+		t.Fatalf("GetBlob = %q, %v", data, err)
+	}
+}
+
+func TestBlobFailureWritesNoMetadata(t *testing.T) {
+	boom := errors.New("s3 down")
+	d := newDAL(t, func(op blobstore.OpKind, replica int, key string) error {
+		if op == blobstore.OpPut {
+			return boom
+		}
+		return nil
+	}, 0)
+	_, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1", []byte("x"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Meta().Get("instances", "i1"); !errors.Is(err, relstore.ErrNotFound) {
+		t.Fatal("metadata written despite blob failure — §3.5 invariant violated")
+	}
+	dangling, err := d.Dangling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dangling) != 0 {
+		t.Fatalf("dangling metadata after blob failure: %v", dangling)
+	}
+}
+
+func TestMetadataFailureOrphansBlob(t *testing.T) {
+	d := newDAL(t, nil, 0)
+	// First insert succeeds; second with the same pk fails at metadata,
+	// leaving its blob orphaned.
+	if _, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1-blob", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1-blob-retry", []byte("v2"))
+	if !errors.Is(err, relstore.ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	orphans, err := d.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 {
+		t.Fatalf("orphans = %v, want exactly the failed write's blob", orphans)
+	}
+	// No dangling metadata either way.
+	dangling, _ := d.Dangling()
+	if len(dangling) != 0 {
+		t.Fatalf("dangling = %v", dangling)
+	}
+	// GC reclaims it; the live blob survives.
+	n, err := d.CollectOrphans()
+	if err != nil || n != 1 {
+		t.Fatalf("CollectOrphans = %d, %v", n, err)
+	}
+	row, _ := d.Meta().Get("instances", "i1")
+	if _, err := d.GetBlob(row["blob_location"].Str); err != nil {
+		t.Fatalf("live blob collected: %v", err)
+	}
+	orphans, _ = d.Orphans()
+	if len(orphans) != 0 {
+		t.Fatalf("orphans after GC = %v", orphans)
+	}
+}
+
+func TestMetadataFirstAblationLeavesDangling(t *testing.T) {
+	boom := errors.New("blob store down")
+	armed := false
+	d := newDAL(t, func(op blobstore.OpKind, replica int, key string) error {
+		if armed && op == blobstore.OpPut {
+			return boom
+		}
+		return nil
+	}, 0)
+	armed = true
+	_, err := d.InsertMetadataFirst("instances", instRow("i1"), "blob_location", "i1", []byte("x"))
+	if !errors.Is(err, ErrDanglingMetadata) {
+		t.Fatalf("err = %v, want ErrDanglingMetadata", err)
+	}
+	dangling, err := d.Dangling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dangling) != 1 {
+		t.Fatalf("dangling = %v, want 1 entry (the ablation's failure mode)", dangling)
+	}
+}
+
+func TestGetBlobCaching(t *testing.T) {
+	d := newDAL(t, nil, 1<<20)
+	loc, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1", []byte("bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.GetBlob(loc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := d.CacheStats()
+	if cs.Hits != 4 || cs.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 4 hits / 1 miss", cs)
+	}
+	if got := d.Blobs().Stats().Gets; got != 1 {
+		t.Fatalf("blob store saw %d gets, want 1 (rest served from cache)", got)
+	}
+}
+
+func TestGetBlobCacheDisabled(t *testing.T) {
+	d := newDAL(t, nil, 0)
+	loc, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1", []byte("bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.GetBlob(loc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Blobs().Stats().Gets; got != 5 {
+		t.Fatalf("blob store saw %d gets with cache off, want 5", got)
+	}
+}
+
+func TestDeleteBlobInvalidatesCache(t *testing.T) {
+	d := newDAL(t, nil, 1<<20)
+	loc, err := d.InsertWithBlob("instances", instRow("i1"), "blob_location", "i1", []byte("bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetBlob(loc); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteBlob(loc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetBlob(loc); err == nil {
+		t.Fatal("deleted blob still served (stale cache)")
+	}
+}
+
+// TestCrashConsistencyUnderRandomFaults drives many writes with randomly
+// injected metadata failures and asserts the §3.5 invariant throughout:
+// never dangling metadata; orphans always collectable. (Experiment E13.)
+func TestCrashConsistencyUnderRandomFaults(t *testing.T) {
+	d := newDAL(t, nil, 0)
+	wrote := 0
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("i%d", i%50) // collisions force metadata failures
+		_, err := d.InsertWithBlob("instances", instRow(id), "blob_location",
+			fmt.Sprintf("blob-%d", i), []byte("payload"))
+		if err == nil {
+			wrote++
+		}
+		if i%20 == 0 {
+			dangling, derr := d.Dangling()
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			if len(dangling) != 0 {
+				t.Fatalf("iteration %d: dangling metadata %v", i, dangling)
+			}
+		}
+	}
+	if wrote != 50 {
+		t.Fatalf("wrote %d distinct instances, want 50", wrote)
+	}
+	orphans, err := d.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 150 {
+		t.Fatalf("orphans = %d, want 150 failed writes", len(orphans))
+	}
+	n, err := d.CollectOrphans()
+	if err != nil || n != 150 {
+		t.Fatalf("CollectOrphans = %d, %v", n, err)
+	}
+	// Every live row's blob must still fetch.
+	rows, err := d.Meta().Select(relstore.Query{Table: "instances"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if _, err := d.GetBlob(row["blob_location"].Str); err != nil {
+			t.Fatalf("live blob unreadable after GC: %v", err)
+		}
+	}
+}

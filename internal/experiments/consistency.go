@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/dal"
+	"gallery/internal/relstore"
+)
+
+// Experiment E13 — paper §3.5 storage consistency: "we always write model
+// blobs first and only write the model metadata after the model blobs are
+// successfully stored. If the model blob of a model instance is saved but
+// the metadata fails to save, then the model instance will not be
+// available in the system."
+//
+// The experiment drives N instance writes through both orderings under
+// injected failures on both stores and counts the two corruption classes:
+// dangling metadata (metadata pointing at a missing blob — catastrophic:
+// serving breaks) and orphaned blobs (wasted space — benign: GC reclaims
+// them). Blob-first must produce zero dangling rows; metadata-first is the
+// ablation arm (DESIGN.md A3) and does not.
+
+// ConsistencyArm is one ordering's outcome.
+type ConsistencyArm struct {
+	Ordering          string
+	Writes            int
+	Succeeded         int
+	DanglingMetadata  int
+	OrphanedBlobs     int
+	OrphansCollected  int
+	ServingFailures   int // reads of committed instances that fail
+	CommittedReadable int
+}
+
+// ConsistencyResult holds both arms.
+type ConsistencyResult struct {
+	BlobFirst     ConsistencyArm
+	MetadataFirst ConsistencyArm
+}
+
+// consistencySchema is the minimal instance table for this experiment.
+func consistencySchema() relstore.Schema {
+	return relstore.Schema{
+		Table: "instances",
+		Columns: []relstore.Column{
+			{Name: "id", Kind: relstore.KindString},
+			{Name: "blob_location", Kind: relstore.KindString, Nullable: true},
+			{Name: "created", Kind: relstore.KindTime},
+		},
+		Key:     "id",
+		Indexes: []string{"blob_location"},
+	}
+}
+
+// WriteOrdering runs n writes per arm with deterministic fault injection:
+// every blobEvery-th blob write and every metaEvery-th metadata write
+// fails (simulating S3/HDFS and MySQL outages).
+func WriteOrdering(n, blobEvery, metaEvery int) (*ConsistencyResult, error) {
+	res := &ConsistencyResult{}
+	for _, arm := range []string{"blob-first", "metadata-first"} {
+		a, err := runOrderingArm(arm, n, blobEvery, metaEvery)
+		if err != nil {
+			return nil, err
+		}
+		if arm == "blob-first" {
+			res.BlobFirst = a
+		} else {
+			res.MetadataFirst = a
+		}
+	}
+	return res, nil
+}
+
+func runOrderingArm(ordering string, n, blobEvery, metaEvery int) (ConsistencyArm, error) {
+	arm := ConsistencyArm{Ordering: ordering, Writes: n}
+
+	var blobWrites atomic.Int64
+	injected := errors.New("injected outage")
+	blobs := blobstore.NewMemory(blobstore.Options{
+		Replicas: 1,
+		Hook: func(op blobstore.OpKind, replica int, key string) error {
+			if op == blobstore.OpPut && blobEvery > 0 {
+				if blobWrites.Add(1)%int64(blobEvery) == 0 {
+					return injected
+				}
+			}
+			return nil
+		},
+	})
+	meta := relstore.NewMemory()
+	if err := meta.CreateTable(consistencySchema()); err != nil {
+		return arm, err
+	}
+	d := dal.New(meta, blobs, dal.Options{
+		Refs: []dal.BlobRef{{Table: "instances", LocField: "blob_location"}},
+	})
+
+	metaWrites := 0
+	var committed []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("inst-%06d", i)
+		row := relstore.Row{
+			"id":      relstore.String(id),
+			"created": relstore.Time(epoch.Add(time.Duration(i) * time.Second)),
+		}
+		// Inject metadata failures by pre-occupying the primary key: the
+		// arm's metadata insert then fails exactly like a MySQL write
+		// error, after whatever the ordering wrote first.
+		metaWrites++
+		if metaEvery > 0 && metaWrites%metaEvery == 0 {
+			if err := meta.Insert("instances", relstore.Row{
+				"id":      relstore.String(id),
+				"created": relstore.Time(epoch),
+			}); err != nil {
+				return arm, err
+			}
+		}
+
+		var err error
+		if ordering == "blob-first" {
+			_, err = d.InsertWithBlob("instances", row, "blob_location", id, []byte("model bytes"))
+		} else {
+			_, err = d.InsertMetadataFirst("instances", row, "blob_location", id, []byte("model bytes"))
+		}
+		if err == nil {
+			arm.Succeeded++
+			committed = append(committed, id)
+		}
+	}
+
+	// Corruption audit.
+	dangling, err := d.Dangling()
+	if err != nil {
+		return arm, err
+	}
+	arm.DanglingMetadata = len(dangling)
+	orphans, err := d.Orphans()
+	if err != nil {
+		return arm, err
+	}
+	arm.OrphanedBlobs = len(orphans)
+	collected, err := d.CollectOrphans()
+	if err != nil {
+		return arm, err
+	}
+	arm.OrphansCollected = collected
+
+	// Every committed instance must still serve.
+	for _, id := range committed {
+		row, err := meta.Get("instances", id)
+		if err != nil {
+			arm.ServingFailures++
+			continue
+		}
+		if _, err := d.GetBlob(row["blob_location"].Str); err != nil {
+			arm.ServingFailures++
+			continue
+		}
+		arm.CommittedReadable++
+	}
+	return arm, nil
+}
+
+// Format renders the two arms side by side.
+func (r *ConsistencyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-8s %-10s %-18s %-15s %-10s %s\n",
+		"ordering", "writes", "committed", "dangling metadata", "orphaned blobs", "collected", "serving failures")
+	for _, a := range []ConsistencyArm{r.BlobFirst, r.MetadataFirst} {
+		fmt.Fprintf(&b, "%-16s %-8d %-10d %-18d %-15d %-10d %d\n",
+			a.Ordering, a.Writes, a.Succeeded, a.DanglingMetadata, a.OrphanedBlobs, a.OrphansCollected, a.ServingFailures)
+	}
+	b.WriteString("blob-first (paper §3.5) must show zero dangling metadata and zero serving failures;\n")
+	b.WriteString("its only cost is orphaned blobs, all reclaimed by GC. metadata-first is the unsafe ablation.\n")
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatters exercises every experiment's paper-style rendering; the
+// harness depends on these being panic-free and carrying the headline
+// numbers.
+func TestFormatters(t *testing.T) {
+	lineage, err := LineageFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := lineage.Format(); !strings.Contains(out, "supply_cancellation") {
+		t.Errorf("lineage format:\n%s", out)
+	}
+
+	steps, err := DependencyFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := FormatDepSteps(steps); !strings.Contains(out, "Figure 7") || !strings.Contains(out, "4.2") {
+		t.Errorf("dep format:\n%s", out)
+	}
+
+	fig8, err := RuleEngineFigure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig8.Format(); !strings.Contains(out, "Client 1") {
+		t.Errorf("fig8 format:\n%s", out)
+	}
+
+	lc, err := Lifecycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := lc.Format(); !strings.Contains(out, "drift loop (E11)") {
+		t.Errorf("lifecycle format:\n%s", out)
+	}
+
+	rs, err := Scale([]int{500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := FormatScale(rs); !strings.Contains(out, "500") {
+		t.Errorf("scale format:\n%s", out)
+	}
+
+	dep, err := DeploymentCost(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := dep.Format(); !strings.Contains(out, "rule engine") {
+		t.Errorf("deployment format:\n%s", out)
+	}
+
+	sk, err := SkewDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sk.Format(); !strings.Contains(out, "skew detected") {
+		t.Errorf("skew format:\n%s", out)
+	}
+
+	cons, err := WriteOrdering(200, 7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := cons.Format(); !strings.Contains(out, "blob-first") {
+		t.Errorf("consistency format:\n%s", out)
+	}
+
+	tiers, err := TieredOnboarding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := FormatTiers(tiers); !strings.Contains(out, "tier 4") {
+		t.Errorf("tiers format:\n%s", out)
+	}
+}

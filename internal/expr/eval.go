@@ -1,0 +1,498 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Func is a host function callable from expressions.
+type Func func(args []any) (any, error)
+
+// Env supplies variables and functions to an evaluation. Variable values
+// may be string, bool, float64, int/int64 (normalized to float64), nil, or
+// map[string]any for nested field access like metrics.bias.
+type Env struct {
+	Vars  map[string]any
+	Funcs map[string]Func
+}
+
+// EvalError reports an evaluation failure (unknown variable, type mismatch,
+// division by zero, ...). Rules treat any EvalError as "condition not met"
+// plus an operator-visible diagnostic, never as a crash.
+type EvalError struct {
+	Pos int
+	Msg string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: eval error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Eval parses and evaluates src in one step.
+func Eval(src string, env *Env) (any, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return n.eval(env)
+}
+
+// EvalBool evaluates src and requires a boolean result, as rule conditions do.
+func EvalBool(src string, env *Env) (bool, error) {
+	v, err := Eval(src, env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, &EvalError{0, fmt.Sprintf("expression yields %T, not bool", v)}
+	}
+	return b, nil
+}
+
+// EvalNode evaluates a pre-parsed expression.
+func EvalNode(n Node, env *Env) (any, error) { return n.eval(env) }
+
+// normalize converts host integer values to float64 so the language has a
+// single number type, like JEXL's unified arithmetic.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int8:
+		return float64(x)
+	case int16:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+func (n *litNode) eval(*Env) (any, error) { return n.val, nil }
+
+func (n *listNode) eval(env *Env) (any, error) {
+	out := make([]any, len(n.elems))
+	for i, e := range n.elems {
+		v, err := e.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (n *identNode) eval(env *Env) (any, error) {
+	if env == nil || env.Vars == nil {
+		return nil, &EvalError{n.pos, fmt.Sprintf("unknown variable %q", n.name)}
+	}
+	v, ok := env.Vars[n.name]
+	if !ok {
+		return nil, &EvalError{n.pos, fmt.Sprintf("unknown variable %q", n.name)}
+	}
+	return normalize(v), nil
+}
+
+func (n *memberNode) eval(env *Env) (any, error) {
+	obj, err := n.obj.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	return fieldOf(obj, n.field, n.pos, n.obj.String())
+}
+
+func (n *indexNode) eval(env *Env) (any, error) {
+	obj, err := n.obj.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	key, err := n.key.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	ks, ok := key.(string)
+	if !ok {
+		return nil, &EvalError{n.pos, fmt.Sprintf("index must be a string, got %T", key)}
+	}
+	return fieldOf(obj, ks, n.pos, n.obj.String())
+}
+
+func fieldOf(obj any, field string, pos int, objSrc string) (any, error) {
+	m, ok := obj.(map[string]any)
+	if !ok {
+		return nil, &EvalError{pos, fmt.Sprintf("%s is %T, not an object", objSrc, obj)}
+	}
+	v, ok := m[field]
+	if !ok {
+		return nil, &EvalError{pos, fmt.Sprintf("%s has no field %q", objSrc, field)}
+	}
+	return normalize(v), nil
+}
+
+func (n *callNode) eval(env *Env) (any, error) {
+	fn := builtins[n.fn]
+	if env != nil && env.Funcs != nil {
+		if f, ok := env.Funcs[n.fn]; ok {
+			fn = f
+		}
+	}
+	if fn == nil {
+		return nil, &EvalError{n.pos, fmt.Sprintf("unknown function %q", n.fn)}
+	}
+	args := make([]any, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	out, err := fn(args)
+	if err != nil {
+		return nil, &EvalError{n.pos, fmt.Sprintf("%s: %v", n.fn, err)}
+	}
+	return normalize(out), nil
+}
+
+func (n *unaryNode) eval(env *Env) (any, error) {
+	v, err := n.x.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case tokNot:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, &EvalError{n.pos, fmt.Sprintf("! needs bool, got %T", v)}
+		}
+		return !b, nil
+	case tokMinus:
+		f, ok := v.(float64)
+		if !ok {
+			return nil, &EvalError{n.pos, fmt.Sprintf("unary - needs number, got %T", v)}
+		}
+		return -f, nil
+	default:
+		return nil, &EvalError{n.pos, "bad unary operator"}
+	}
+}
+
+func (n *binaryNode) eval(env *Env) (any, error) {
+	// Short-circuit logic first.
+	if n.op == tokAnd || n.op == tokOr {
+		xv, err := n.x.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		xb, ok := xv.(bool)
+		if !ok {
+			return nil, &EvalError{n.pos, fmt.Sprintf("%s needs bool operands, got %T", opNames[n.op], xv)}
+		}
+		if n.op == tokAnd && !xb {
+			return false, nil
+		}
+		if n.op == tokOr && xb {
+			return true, nil
+		}
+		yv, err := n.y.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		yb, ok := yv.(bool)
+		if !ok {
+			return nil, &EvalError{n.pos, fmt.Sprintf("%s needs bool operands, got %T", opNames[n.op], yv)}
+		}
+		return yb, nil
+	}
+
+	xv, err := n.x.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	yv, err := n.y.eval(env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n.op {
+	case tokEq:
+		return looseEqual(xv, yv), nil
+	case tokNe:
+		return !looseEqual(xv, yv), nil
+	case tokIn:
+		// Membership: element in list, or key in object.
+		switch container := yv.(type) {
+		case []any:
+			for _, e := range container {
+				if looseEqual(xv, e) {
+					return true, nil
+				}
+			}
+			return false, nil
+		case map[string]any:
+			key, ok := xv.(string)
+			if !ok {
+				return nil, &EvalError{n.pos, fmt.Sprintf("'in' over an object needs a string key, got %T", xv)}
+			}
+			_, present := container[key]
+			return present, nil
+		default:
+			return nil, &EvalError{n.pos, fmt.Sprintf("'in' needs a list or object on the right, got %T", yv)}
+		}
+	case tokLt, tokLe, tokGt, tokGe:
+		c, err := compare(xv, yv, n.pos)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case tokLt:
+			return c < 0, nil
+		case tokLe:
+			return c <= 0, nil
+		case tokGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case tokPlus:
+		// + concatenates strings and adds numbers, as JEXL does.
+		if xs, ok := xv.(string); ok {
+			if ys, ok := yv.(string); ok {
+				return xs + ys, nil
+			}
+		}
+		return arith(n, xv, yv, func(a, b float64) (float64, error) { return a + b, nil })
+	case tokMinus:
+		return arith(n, xv, yv, func(a, b float64) (float64, error) { return a - b, nil })
+	case tokStar:
+		return arith(n, xv, yv, func(a, b float64) (float64, error) { return a * b, nil })
+	case tokSlash:
+		return arith(n, xv, yv, func(a, b float64) (float64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return a / b, nil
+		})
+	case tokPercent:
+		return arith(n, xv, yv, func(a, b float64) (float64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			return math.Mod(a, b), nil
+		})
+	default:
+		return nil, &EvalError{n.pos, "bad binary operator"}
+	}
+}
+
+func arith(n *binaryNode, xv, yv any, f func(a, b float64) (float64, error)) (any, error) {
+	xf, xok := xv.(float64)
+	yf, yok := yv.(float64)
+	if !xok || !yok {
+		return nil, &EvalError{n.pos, fmt.Sprintf("%s needs numbers, got %T and %T",
+			opNames[n.op], xv, yv)}
+	}
+	out, err := f(xf, yf)
+	if err != nil {
+		return nil, &EvalError{n.pos, err.Error()}
+	}
+	return out, nil
+}
+
+// looseEqual compares two evaluated values. Values of different types are
+// simply unequal (numbers were already normalized to float64).
+func looseEqual(x, y any) bool {
+	if x == nil || y == nil {
+		return x == nil && y == nil
+	}
+	switch xv := x.(type) {
+	case float64:
+		yv, ok := y.(float64)
+		return ok && xv == yv
+	case string:
+		yv, ok := y.(string)
+		return ok && xv == yv
+	case bool:
+		yv, ok := y.(bool)
+		return ok && xv == yv
+	default:
+		return false
+	}
+}
+
+// compare orders numbers numerically and strings lexicographically.
+func compare(x, y any, pos int) (int, error) {
+	if xf, ok := x.(float64); ok {
+		if yf, ok := y.(float64); ok {
+			switch {
+			case xf < yf:
+				return -1, nil
+			case xf > yf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if xs, ok := x.(string); ok {
+		if ys, ok := y.(string); ok {
+			return strings.Compare(xs, ys), nil
+		}
+	}
+	return 0, &EvalError{pos, fmt.Sprintf("cannot order %T against %T", x, y)}
+}
+
+// builtins are always available unless shadowed by the environment.
+var builtins = map[string]Func{
+	"abs": func(args []any) (any, error) {
+		f, err := oneNumber(args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Abs(f), nil
+	},
+	"min": func(args []any) (any, error) {
+		return foldNumbers(args, math.Min)
+	},
+	"max": func(args []any) (any, error) {
+		return foldNumbers(args, math.Max)
+	},
+	// has(obj, "field") reports whether a map has a field, letting rules
+	// guard against metrics that have not been reported yet.
+	"has": func(args []any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want 2 arguments, got %d", len(args))
+		}
+		m, ok := args[0].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("first argument is %T, not an object", args[0])
+		}
+		k, ok := args[1].(string)
+		if !ok {
+			return nil, fmt.Errorf("second argument is %T, not a string", args[1])
+		}
+		_, present := m[k]
+		return present, nil
+	},
+	"floor": func(args []any) (any, error) {
+		f, err := oneNumber(args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Floor(f), nil
+	},
+	"ceil": func(args []any) (any, error) {
+		f, err := oneNumber(args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Ceil(f), nil
+	},
+	"round": func(args []any) (any, error) {
+		f, err := oneNumber(args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Round(f), nil
+	},
+	"contains": func(args []any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want 2 arguments, got %d", len(args))
+		}
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("contains needs two strings")
+		}
+		return strings.Contains(s, sub), nil
+	},
+	"startsWith": func(args []any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want 2 arguments, got %d", len(args))
+		}
+		s, ok1 := args[0].(string)
+		pre, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("startsWith needs two strings")
+		}
+		return strings.HasPrefix(s, pre), nil
+	},
+}
+
+func oneNumber(args []any) (float64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("want 1 argument, got %d", len(args))
+	}
+	f, ok := normalize(args[0]).(float64)
+	if !ok {
+		return 0, fmt.Errorf("argument is %T, not a number", args[0])
+	}
+	return f, nil
+}
+
+func foldNumbers(args []any, f func(a, b float64) float64) (any, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("want at least 1 argument")
+	}
+	acc, ok := normalize(args[0]).(float64)
+	if !ok {
+		return nil, fmt.Errorf("argument 0 is %T, not a number", args[0])
+	}
+	for i, a := range args[1:] {
+		v, ok := normalize(a).(float64)
+		if !ok {
+			return nil, fmt.Errorf("argument %d is %T, not a number", i+1, a)
+		}
+		acc = f(acc, v)
+	}
+	return acc, nil
+}
+
+// Idents returns the free top-level identifiers referenced by an
+// expression. The rule engine uses this to register which metadata and
+// metric updates should trigger a rule's re-evaluation (paper §3.7.2).
+func Idents(n Node) []string {
+	set := make(map[string]bool)
+	collectIdents(n, set)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectIdents(n Node, set map[string]bool) {
+	switch x := n.(type) {
+	case *identNode:
+		set[x.name] = true
+	case *memberNode:
+		collectIdents(x.obj, set)
+	case *indexNode:
+		collectIdents(x.obj, set)
+		collectIdents(x.key, set)
+	case *callNode:
+		for _, a := range x.args {
+			collectIdents(a, set)
+		}
+	case *unaryNode:
+		collectIdents(x.x, set)
+	case *binaryNode:
+		collectIdents(x.x, set)
+		collectIdents(x.y, set)
+	case *listNode:
+		for _, e := range x.elems {
+			collectIdents(e, set)
+		}
+	}
+}

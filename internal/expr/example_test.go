@@ -1,0 +1,27 @@
+package expr_test
+
+import (
+	"fmt"
+	"log"
+
+	"gallery/internal/expr"
+)
+
+// Example evaluates a rule condition like the paper's Listing 2 against a
+// model instance's environment.
+func Example() {
+	env := &expr.Env{Vars: map[string]any{
+		"model_domain": "UberX",
+		"metrics": map[string]any{
+			"bias": 0.05,
+			"mape": 7.2,
+		},
+	}}
+	ok, err := expr.EvalBool(
+		`model_domain in ["UberX", "UberPool"] && metrics.bias <= 0.1 && metrics.bias >= -0.1`, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deploy:", ok)
+	// Output: deploy: true
+}

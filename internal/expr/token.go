@@ -1,0 +1,293 @@
+// Package expr implements the expression language Gallery rules are written
+// in.
+//
+// The paper implements its Given/When/Then rules with JEXL, the Java
+// Expression Language (§3.7.2). This package is a from-scratch equivalent
+// covering everything the paper's rules use — comparisons, boolean
+// connectives, arithmetic, field access (metrics.bias), map indexing
+// (metrics["r2"]), string/number/bool literals, and function calls — as a
+// lexer, a Pratt parser, and a strict evaluator over caller-supplied
+// environments.
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// kind enumerates token kinds.
+type kind uint8
+
+const (
+	tokEOF kind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokBool
+	tokNull
+
+	tokEq       // ==
+	tokNe       // !=
+	tokLt       // <
+	tokLe       // <=
+	tokGt       // >
+	tokGe       // >=
+	tokAnd      // &&
+	tokOr       // ||
+	tokNot      // !
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokDot      // .
+	tokComma    // ,
+	tokIn       // in
+)
+
+type token struct {
+	kind kind
+	text string // identifier or decoded string literal
+	num  float64
+	pos  int // byte offset in source, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return fmt.Sprintf("number %v", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k kind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == '+':
+			emit(tokPlus, "+", i)
+			i++
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '/':
+			emit(tokSlash, "/", i)
+			i++
+		case c == '%':
+			emit(tokPercent, "%", i)
+			i++
+		case c == '-':
+			emit(tokMinus, "-", i)
+			i++
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokEq, "==", i)
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "single '=' (use '==' for comparison)"}
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokNe, "!=", i)
+				i += 2
+			} else {
+				emit(tokNot, "!", i)
+				i++
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokLe, "<=", i)
+				i += 2
+			} else {
+				emit(tokLt, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokGe, ">=", i)
+				i += 2
+			} else {
+				emit(tokGt, ">", i)
+				i++
+			}
+		case c == '&':
+			if i+1 < len(src) && src[i+1] == '&' {
+				emit(tokAnd, "&&", i)
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "single '&' (use '&&')"}
+			}
+		case c == '|':
+			if i+1 < len(src) && src[i+1] == '|' {
+				emit(tokOr, "||", i)
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "single '|' (use '||')"}
+			}
+		case c == '\'' || c == '"':
+			s, next, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, pos: i})
+			i = next
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			if i < len(src) && src[i] == '.' {
+				i++
+				if i >= len(src) || src[i] < '0' || src[i] > '9' {
+					return nil, &SyntaxError{start, "malformed number"}
+				}
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			var f float64
+			if _, err := fmt.Sscanf(src[start:i], "%g", &f); err != nil {
+				return nil, &SyntaxError{start, "malformed number"}
+			}
+			toks = append(toks, token{kind: tokNumber, num: f, pos: start})
+		case c == '.':
+			// Distinguish member access from a leading-dot float like ".5".
+			if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				start := i
+				i++
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				var f float64
+				fmt.Sscanf(src[start:i], "%g", &f)
+				toks = append(toks, token{kind: tokNumber, num: f, pos: start})
+			} else {
+				emit(tokDot, ".", i)
+				i++
+			}
+		default:
+			r, size := utf8.DecodeRuneInString(src[i:])
+			if size == 0 || (r == utf8.RuneError && size == 1) || !isIdentStart(r) {
+				return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", c)}
+			}
+			start := i
+			i += size
+			for i < len(src) {
+				r, size := utf8.DecodeRuneInString(src[i:])
+				if (r == utf8.RuneError && size <= 1) || !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			word := src[start:i]
+			switch word {
+			case "true", "false":
+				toks = append(toks, token{kind: tokBool, text: word, pos: start})
+			case "null":
+				toks = append(toks, token{kind: tokNull, text: word, pos: start})
+			case "and":
+				emit(tokAnd, "and", start)
+			case "or":
+				emit(tokOr, "or", start)
+			case "not":
+				emit(tokNot, "not", start)
+			case "in":
+				emit(tokIn, "in", start)
+			default:
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+// lexString decodes a quoted string starting at src[start], handling the
+// escapes \\, \', \", \n, \t.
+func lexString(src string, start int) (string, int, error) {
+	quote := src[start]
+	var b strings.Builder
+	i := start + 1
+	for i < len(src) {
+		c := src[i]
+		switch c {
+		case quote:
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(src) {
+				return "", 0, &SyntaxError{i, "dangling escape"}
+			}
+			switch src[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", 0, &SyntaxError{i, fmt.Sprintf("unknown escape \\%c", src[i+1])}
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, &SyntaxError{start, "unterminated string"}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

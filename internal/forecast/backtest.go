@@ -1,0 +1,55 @@
+package forecast
+
+import "fmt"
+
+// Backtest runs rolling-origin one-step-ahead evaluation: the model is
+// trained on data[:trainN], then walked forward over the remainder,
+// predicting each point from everything before it. This is the
+// "backtesting" validation process the paper describes feeding model
+// validation performance (§3.6).
+func Backtest(m Model, data Series, trainN int) (Metrics, error) {
+	if trainN <= 0 || trainN >= len(data) {
+		return Metrics{}, fmt.Errorf("forecast: trainN %d out of range for %d points", trainN, len(data))
+	}
+	if err := m.Train(data[:trainN]); err != nil {
+		return Metrics{}, err
+	}
+	values := data.Values()
+	var preds, actuals []float64
+	for i := trainN; i < len(data); i++ {
+		p := m.Forecast(Context{
+			History:   values[:i],
+			Time:      data[i].T,
+			Event:     data[i].Event,
+			PrevEvent: data[i-1].Event,
+		})
+		preds = append(preds, p)
+		actuals = append(actuals, values[i])
+	}
+	return Evaluate(preds, actuals)
+}
+
+// RollingMAPE evaluates a model over a window of the series without
+// retraining, returning the window's MAPE — the production-performance
+// signal the rule engine consumes.
+func RollingMAPE(m Model, data Series, from, to int) (float64, error) {
+	if from < 1 || to > len(data) || from >= to {
+		return 0, fmt.Errorf("forecast: bad window [%d, %d) over %d points", from, to, len(data))
+	}
+	values := data.Values()
+	var preds, actuals []float64
+	for i := from; i < to; i++ {
+		preds = append(preds, m.Forecast(Context{
+			History:   values[:i],
+			Time:      data[i].T,
+			Event:     data[i].Event,
+			PrevEvent: data[i-1].Event,
+		}))
+		actuals = append(actuals, values[i])
+	}
+	met, err := Evaluate(preds, actuals)
+	if err != nil {
+		return 0, err
+	}
+	return met.MAPE, nil
+}

@@ -1,0 +1,129 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func rushCity(seed int64) CityConfig {
+	return CityConfig{
+		Name: "rushville", Base: 500, DailyAmp: 60, WeeklyAmp: 20,
+		RushAmp: 300, NoiseStd: 15, Seed: seed,
+	}
+}
+
+func TestGBStumpsLearns(t *testing.T) {
+	data := Generate(sampleCity(31), start, time.Hour, 24*60)
+	trainN := 24 * 45
+	gb := &GBStumps{Lags: 24}
+	met, err := Backtest(gb, data, trainN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Backtest(&Heuristic{K: 1}, data, trainN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MAPE >= naive.MAPE {
+		t.Fatalf("GB MAPE %.2f not better than naive %.2f", met.MAPE, naive.MAPE)
+	}
+	if met.R2 < 0.7 {
+		t.Fatalf("GB R2 = %.3f", met.R2)
+	}
+}
+
+// TestGBStumpsBeatsLinearOnRushHours: box-shaped commute peaks are
+// threshold structure that harmonics cannot represent; the tree ensemble
+// must win there at a multi-hour horizon where lag-following cannot
+// compensate.
+func TestGBStumpsBeatsLinearOnRushHours(t *testing.T) {
+	data := Generate(rushCity(32), start, time.Hour, 24*60)
+	trainN := 24 * 45
+	gb := &GBStumps{Lags: 12, Horizon: 6, Rounds: 200}
+	lin := &LinearAR{Lags: 12, Horizon: 6}
+	gm, err := Backtest(gb, data, trainN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Backtest(lin, data, trainN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.MAPE >= lm.MAPE {
+		t.Fatalf("GB MAPE %.2f not better than linear %.2f on rush-hour city", gm.MAPE, lm.MAPE)
+	}
+}
+
+func TestGBStumpsNeedsData(t *testing.T) {
+	gb := &GBStumps{Lags: 24}
+	short := Generate(sampleCity(33), start, time.Hour, 20)
+	if err := gb.Train(short); err == nil {
+		t.Fatal("training on 20 points accepted")
+	}
+}
+
+func TestGBStumpsUntrainedFallback(t *testing.T) {
+	gb := &GBStumps{Lags: 4}
+	if got := gb.Forecast(Context{History: []float64{1, 2, 3, 9}}); got != 9 {
+		t.Fatalf("untrained fallback = %v", got)
+	}
+	if got := gb.Forecast(Context{}); got != 0 {
+		t.Fatalf("untrained empty = %v", got)
+	}
+}
+
+func TestGBStumpsEncodeDecode(t *testing.T) {
+	data := Generate(rushCity(34), start, time.Hour, 24*40)
+	gb := &GBStumps{Lags: 12, Rounds: 50}
+	if err := gb.Train(data[:24*39]); err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{History: data.Values()[:24*39], Time: data[24*39].T}
+	want := gb.Forecast(ctx)
+	blob, err := Encode(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != gb.Name() {
+		t.Fatalf("name = %s", back.Name())
+	}
+	if got := back.Forecast(ctx); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("decoded forecast %v != %v", got, want)
+	}
+}
+
+func TestGenerateRushHours(t *testing.T) {
+	cfg := rushCity(35)
+	cfg.NoiseStd, cfg.DailyAmp, cfg.WeeklyAmp = 0, 0, 0
+	s := Generate(cfg, start, time.Hour, 24*7)
+	for _, p := range s {
+		h := p.T.Hour()
+		weekend := p.T.Weekday() == time.Saturday || p.T.Weekday() == time.Sunday
+		inRush := !weekend && ((h >= 7 && h <= 9) || (h >= 17 && h <= 19))
+		want := 500.0
+		if inRush {
+			want = 800.0
+		}
+		if p.V != want {
+			t.Fatalf("%v (hour %d, %v): demand %v, want %v", p.T, h, p.T.Weekday(), p.V, want)
+		}
+	}
+}
+
+func TestStumpApply(t *testing.T) {
+	s := Stump{Feature: 1, Threshold: 5, Left: -1, Right: 2}
+	if got := s.apply([]float64{0, 4}); got != -1 {
+		t.Fatalf("left = %v", got)
+	}
+	if got := s.apply([]float64{0, 6}); got != 2 {
+		t.Fatalf("right = %v", got)
+	}
+	if got := s.apply([]float64{0, 5}); got != -1 { // <= goes left
+		t.Fatalf("boundary = %v", got)
+	}
+}

@@ -1,0 +1,34 @@
+package forecast_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gallery/internal/forecast"
+)
+
+// Example trains a model on synthetic city demand, backtests it, and
+// serializes it to the opaque blob form Gallery stores.
+func Example() {
+	start := time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+	data := forecast.Generate(forecast.CityConfig{
+		Name: "example_city", Base: 500, DailyAmp: 150, NoiseStd: 10, Seed: 1,
+	}, start, time.Hour, 24*60)
+
+	model := &forecast.LinearAR{Lags: 24}
+	metrics, err := forecast.Backtest(model, data, 24*45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := forecast.Encode(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := forecast.Decode(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backtest R2 > 0.9: %v; decoded model: %s\n", metrics.R2 > 0.9, back.Name())
+	// Output: backtest R2 > 0.9: true; decoded model: linear_ar24
+}

@@ -1,0 +1,86 @@
+// Package forecast implements the Marketplace Forecasting substrate of the
+// paper's Case 1 (§4.2): synthetic per-city demand workloads, a family of
+// from-scratch forecasting models spanning the classes the paper names
+// (simple time-series heuristics through regression models), serialization
+// to opaque blobs for Gallery storage, standard evaluation metrics (MAPE,
+// MAE, RMSE, bias, R²), and a rolling-origin backtester.
+//
+// Gallery itself is model neutral; this package is "the application side"
+// that trains models, serializes them, and reports metrics.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics bundles the evaluation measures used throughout the paper.
+type Metrics struct {
+	MAPE float64 // mean absolute percentage error, in percent
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	Bias float64 // mean signed error (prediction - actual), normalized
+	R2   float64 // coefficient of determination
+	N    int
+}
+
+// Evaluate computes Metrics for paired predictions and actuals. Actual
+// values with magnitude below eps are skipped for MAPE (division guard)
+// but still count toward the other measures.
+func Evaluate(pred, actual []float64) (Metrics, error) {
+	if len(pred) != len(actual) {
+		return Metrics{}, fmt.Errorf("forecast: %d predictions vs %d actuals", len(pred), len(actual))
+	}
+	if len(pred) == 0 {
+		return Metrics{}, fmt.Errorf("forecast: empty evaluation")
+	}
+	const eps = 1e-9
+	var sumAbs, sumSq, sumSigned, sumActual float64
+	var sumAPE float64
+	apeN := 0
+	for i := range pred {
+		err := pred[i] - actual[i]
+		sumAbs += math.Abs(err)
+		sumSq += err * err
+		sumSigned += err
+		sumActual += actual[i]
+		if math.Abs(actual[i]) > eps {
+			sumAPE += math.Abs(err / actual[i])
+			apeN++
+		}
+	}
+	n := float64(len(pred))
+	m := Metrics{
+		MAE:  sumAbs / n,
+		RMSE: math.Sqrt(sumSq / n),
+		N:    len(pred),
+	}
+	if apeN > 0 {
+		m.MAPE = 100 * sumAPE / float64(apeN)
+	}
+	meanActual := sumActual / n
+	if math.Abs(meanActual) > eps {
+		m.Bias = (sumSigned / n) / math.Abs(meanActual)
+	}
+	var ssTot float64
+	for _, a := range actual {
+		d := a - meanActual
+		ssTot += d * d
+	}
+	if ssTot > eps {
+		m.R2 = 1 - sumSq/ssTot
+	}
+	return m, nil
+}
+
+// AsMap renders metrics in the "<metric>:<value>" shape Gallery stores
+// (paper §3.3.3).
+func (m Metrics) AsMap() map[string]float64 {
+	return map[string]float64{
+		"mape": m.MAPE,
+		"mae":  m.MAE,
+		"rmse": m.RMSE,
+		"bias": m.Bias,
+		"r2":   m.R2,
+	}
+}

@@ -1,0 +1,128 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is one observation of a demand series.
+type Point struct {
+	T     time.Time
+	V     float64
+	Event bool // inside a holiday/event window
+}
+
+// Series is a time-ordered sequence of observations.
+type Series []Point
+
+// Values extracts the raw values.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Event is a demand-disturbing window: a holiday, a concert, a transit
+// outage (paper §4.2 motivates both planned and unplanned events).
+type Event struct {
+	Start time.Time
+	End   time.Time
+	// Multiplier scales demand during the event (1.8 = +80%).
+	Multiplier float64
+}
+
+func (e Event) contains(t time.Time) bool {
+	return !t.Before(e.Start) && t.Before(e.End)
+}
+
+// CityConfig parameterizes one city's synthetic demand. Different cities
+// pose different geospatial and growth characteristics (paper §1), which
+// is exactly why Gallery shards models per city.
+type CityConfig struct {
+	Name string
+	// Base is the demand level at the start of the series.
+	Base float64
+	// GrowthPerWeek adds linear growth, modeling Uber's market expansion.
+	GrowthPerWeek float64
+	// DailyAmp and WeeklyAmp scale sinusoidal seasonality.
+	DailyAmp  float64
+	WeeklyAmp float64
+	// NoiseStd is the standard deviation of Gaussian observation noise.
+	NoiseStd float64
+	// RushAmp adds sharp box-shaped commute peaks (hours 7-9 and 17-19 on
+	// weekdays) — threshold-shaped structure that smooth harmonics cannot
+	// represent but tree models can.
+	RushAmp float64
+	// Events lists demand disturbances.
+	Events []Event
+	// ShiftAt/ShiftFactor inject a permanent regime change (for drift
+	// experiments): from ShiftAt onward, base demand is multiplied.
+	ShiftAt     time.Time
+	ShiftFactor float64
+	Seed        int64
+}
+
+// Generate produces n observations at the given step, starting at start.
+// The process is deterministic in the config (seeded noise).
+func Generate(cfg CityConfig, start time.Time, step time.Duration, n int) Series {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make(Series, n)
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(i) * step)
+		hours := t.Sub(start).Hours()
+		base := cfg.Base + cfg.GrowthPerWeek*hours/(24*7)
+		if cfg.ShiftFactor != 0 && !cfg.ShiftAt.IsZero() && !t.Before(cfg.ShiftAt) {
+			base *= cfg.ShiftFactor
+		}
+		daily := cfg.DailyAmp * math.Sin(2*math.Pi*float64(t.Hour())/24)
+		weekly := cfg.WeeklyAmp * math.Sin(2*math.Pi*float64(t.Weekday())/7)
+		rush := 0.0
+		if cfg.RushAmp != 0 && t.Weekday() != time.Saturday && t.Weekday() != time.Sunday {
+			if h := t.Hour(); (h >= 7 && h <= 9) || (h >= 17 && h <= 19) {
+				rush = cfg.RushAmp
+			}
+		}
+		v := base + daily + weekly + rush + rng.NormFloat64()*cfg.NoiseStd
+		event := false
+		for _, e := range cfg.Events {
+			if e.contains(t) {
+				v *= e.Multiplier
+				event = true
+			}
+		}
+		if v < 0 {
+			v = 0
+		}
+		out[i] = Point{T: t, V: v, Event: event}
+	}
+	return out
+}
+
+// DefaultCities returns a fleet of heterogeneous city configurations used
+// by the examples and experiments.
+func DefaultCities(n int, seed int64) []CityConfig {
+	names := []string{"san_francisco", "new_york", "london", "sao_paulo", "delhi",
+		"paris", "sydney", "tokyo", "lagos", "toronto"}
+	out := make([]CityConfig, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out {
+		name := names[i%len(names)]
+		if i >= len(names) {
+			name = names[i%len(names)] + "_b"
+		}
+		base := 100 + rng.Float64()*900
+		out[i] = CityConfig{
+			Name:          name,
+			Base:          base,
+			GrowthPerWeek: base * (0.005 + rng.Float64()*0.02),
+			DailyAmp:      base * (0.2 + rng.Float64()*0.3),
+			WeeklyAmp:     base * (0.05 + rng.Float64()*0.15),
+			NoiseStd:      base * (0.02 + rng.Float64()*0.05),
+			Seed:          seed + int64(i)*7919,
+		}
+	}
+	return out
+}

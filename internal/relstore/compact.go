@@ -1,0 +1,104 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"gallery/internal/wal"
+)
+
+// Compact rewrites the store's write-ahead log as a snapshot of current
+// state, bounding recovery time and disk use for long-lived deployments
+// (Gallery's MySQL gets this from its own checkpointing; the embedded
+// store needs it explicitly). The snapshot is written to a sibling file
+// and atomically renamed over the live log, so a crash during compaction
+// leaves either the old or the new log intact, never a mix.
+//
+// Compact is only meaningful for durable stores; on a volatile store it is
+// a no-op.
+func (s *Store) Compact(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+
+	tmp := path + ".compact"
+	newLog, err := wal.Open(tmp, wal.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("relstore: open compaction log: %w", err)
+	}
+	cleanup := func() {
+		newLog.Close()
+		os.Remove(tmp)
+	}
+
+	// Deterministic table order for reproducible snapshots.
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	appendOp := func(op walOp) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+			return fmt.Errorf("relstore: encode snapshot record: %w", err)
+		}
+		return newLog.Append(buf.Bytes())
+	}
+	for _, name := range names {
+		t := s.tables[name]
+		schema := t.schema
+		if err := appendOp(walOp{Kind: opCreateTable, Schema: &schema}); err != nil {
+			cleanup()
+			return err
+		}
+		// Emit rows in primary-key order.
+		var iterErr error
+		t.scanAll(func(row Row) bool {
+			if err := appendOp(walOp{Kind: opInsert, Table: name, Row: row}); err != nil {
+				iterErr = err
+				return false
+			}
+			return true
+		})
+		if iterErr != nil {
+			cleanup()
+			return iterErr
+		}
+	}
+
+	// Swap: close both logs, rename, reopen.
+	if err := newLog.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("relstore: close compaction log: %w", err)
+	}
+	if err := s.log.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("relstore: close live log: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("relstore: swap compacted log: %w", err)
+	}
+	reopened, err := wal.Open(path, wal.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("relstore: reopen after compaction: %w", err)
+	}
+	s.log = reopened
+	return nil
+}
+
+// LogSize returns the byte size of the store's write-ahead log, or 0 for
+// volatile stores. Operators use it to decide when to Compact.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Size()
+}

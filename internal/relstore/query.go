@@ -1,0 +1,334 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gallery/internal/btree"
+)
+
+// Op is a constraint operator. The set mirrors what Gallery's model search
+// API exposes (paper Listing 5: equal, smaller_than, ...).
+type Op uint8
+
+// Constraint operators.
+const (
+	OpEq Op = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix   // string prefix match
+	OpContains // string substring match
+	OpIn       // equals any of Values
+)
+
+// String names the operator, matching the wire names used by the service.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "equal"
+	case OpNe:
+		return "not_equal"
+	case OpLt:
+		return "smaller_than"
+	case OpLe:
+		return "smaller_or_equal"
+	case OpGt:
+		return "greater_than"
+	case OpGe:
+		return "greater_or_equal"
+	case OpPrefix:
+		return "prefix"
+	case OpContains:
+		return "contains"
+	case OpIn:
+		return "in"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ParseOp converts a wire operator name to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "equal":
+		return OpEq, nil
+	case "not_equal":
+		return OpNe, nil
+	case "smaller_than":
+		return OpLt, nil
+	case "smaller_or_equal":
+		return OpLe, nil
+	case "greater_than":
+		return OpGt, nil
+	case "greater_or_equal":
+		return OpGe, nil
+	case "prefix":
+		return OpPrefix, nil
+	case "contains":
+		return OpContains, nil
+	case "in":
+		return OpIn, nil
+	default:
+		return 0, fmt.Errorf("relstore: unknown operator %q", s)
+	}
+}
+
+// Constraint is one field/operator/value predicate.
+type Constraint struct {
+	Field  string
+	Op     Op
+	Value  Value
+	Values []Value // OpIn only
+}
+
+// Query selects rows from a table.
+type Query struct {
+	Table string
+	Where []Constraint
+	// OrderBy sorts results by the named column; empty keeps primary-key
+	// order (or index-scan order when an index drives the query).
+	OrderBy string
+	Desc    bool
+	Limit   int // 0 means unlimited
+	Offset  int
+	// ForceScan bypasses index selection, used by the search-index
+	// ablation (DESIGN.md A5).
+	ForceScan bool
+}
+
+// Explain reports how a query executed.
+type Explain struct {
+	// Index is the column whose secondary index drove the scan, or ""
+	// for a full table scan.
+	Index string
+	// Ordered reports that the index also supplied the result order, so
+	// no sort ran and Limit could stop the scan early.
+	Ordered bool
+	// Scanned counts rows (or index postings) examined.
+	Scanned int
+	// Matched counts rows that satisfied all constraints, before
+	// offset/limit.
+	Matched int
+}
+
+// matches reports whether row satisfies c.
+func (c Constraint) matches(row Row) bool {
+	v, ok := row[c.Field]
+	if !ok {
+		v = Value{} // treat absent as null
+	}
+	switch c.Op {
+	case OpEq:
+		return !v.IsNull() && Equal(v, c.Value)
+	case OpNe:
+		return !Equal(v, c.Value)
+	case OpLt:
+		return !v.IsNull() && Compare(v, c.Value) < 0
+	case OpLe:
+		return !v.IsNull() && Compare(v, c.Value) <= 0
+	case OpGt:
+		return !v.IsNull() && Compare(v, c.Value) > 0
+	case OpGe:
+		return !v.IsNull() && Compare(v, c.Value) >= 0
+	case OpPrefix:
+		return v.Kind == KindString && c.Value.Kind == KindString &&
+			strings.HasPrefix(v.Str, c.Value.Str)
+	case OpContains:
+		return v.Kind == KindString && c.Value.Kind == KindString &&
+			strings.Contains(v.Str, c.Value.Str)
+	case OpIn:
+		if v.IsNull() {
+			return false
+		}
+		for _, cand := range c.Values {
+			if Equal(v, cand) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// indexable reports whether the constraint can seed an index scan and how
+// selective it is likely to be (lower is better).
+func (c Constraint) indexable() (rank int, ok bool) {
+	switch c.Op {
+	case OpEq:
+		return 0, true
+	case OpPrefix:
+		return 1, true
+	case OpGe, OpGt, OpLe, OpLt:
+		return 2, true
+	default:
+		return 0, false
+	}
+}
+
+// Select runs a query and returns row copies.
+func (s *Store) Select(q Query) ([]Row, error) {
+	rows, _, err := s.SelectExplain(q)
+	return rows, err
+}
+
+// SelectExplain runs a query and also reports how it executed.
+func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[q.Table]
+	if !ok {
+		return nil, Explain{}, fmt.Errorf("%w: %s", ErrNoTable, q.Table)
+	}
+	var ex Explain
+	driver := -1 // index into q.Where of the constraint driving an index scan
+	if !q.ForceScan {
+		bestRank := 99
+		for i, c := range q.Where {
+			rank, can := c.indexable()
+			if !can {
+				continue
+			}
+			if _, hasIdx := t.indexes[c.Field]; !hasIdx {
+				continue
+			}
+			if rank < bestRank {
+				bestRank, driver = rank, i
+			}
+		}
+	}
+
+	// Ordered-index path: when no constraint drives the scan but the
+	// ORDER BY column has an index over a non-nullable column, stream the
+	// index in order — no sort, and Limit stops the scan early. This is
+	// what keeps "newest instances first" queries fast at the paper's
+	// million-instance scale.
+	ordered := false
+	if driver < 0 && !q.ForceScan && q.OrderBy != "" {
+		if _, hasIdx := t.indexes[q.OrderBy]; hasIdx {
+			if col, ok := t.schema.col(q.OrderBy); ok && !col.Nullable {
+				ordered = true
+			}
+		}
+	}
+
+	var matched []Row
+	visit := func(row Row) bool {
+		ex.Scanned++
+		for _, c := range q.Where {
+			if !c.matches(row) {
+				return true
+			}
+		}
+		ex.Matched++
+		matched = append(matched, row)
+		// Early termination: only safe when scan order is result order.
+		if (ordered || (q.OrderBy == "" && !q.Desc)) && q.Limit > 0 &&
+			len(matched) >= q.Offset+q.Limit {
+			return false
+		}
+		return true
+	}
+
+	switch {
+	case driver >= 0:
+		c := q.Where[driver]
+		ex.Index = c.Field
+		t.scanIndex(c, visit)
+	case ordered:
+		ex.Index = q.OrderBy
+		ex.Ordered = true
+		idx := t.indexes[q.OrderBy]
+		emit := func(it btree.Item) bool {
+			return visit(t.rows[it.(indexEntry).pk])
+		}
+		if q.Desc {
+			idx.Descend(emit)
+		} else {
+			idx.Ascend(emit)
+		}
+	default:
+		t.scanAll(visit)
+	}
+
+	// Order, then page (skipped when the index already supplied order).
+	if q.OrderBy != "" && !ordered {
+		col := q.OrderBy
+		sort.SliceStable(matched, func(i, j int) bool {
+			c := Compare(matched[i][col], matched[j][col])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	} else if q.OrderBy == "" && q.Desc {
+		for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
+			matched[i], matched[j] = matched[j], matched[i]
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			matched = nil
+		} else {
+			matched = matched[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+
+	out := make([]Row, len(matched))
+	for i, r := range matched {
+		out[i] = r.Clone()
+	}
+	return out, ex, nil
+}
+
+// scanAll visits every row in primary-key order.
+func (t *table) scanAll(visit func(Row) bool) {
+	t.pks.Ascend(func(it btree.Item) bool {
+		return visit(t.rows[string(it.(pkItem))])
+	})
+}
+
+// scanIndex visits rows via the secondary index on c.Field, bounded by c.
+func (t *table) scanIndex(c Constraint, visit func(Row) bool) {
+	idx := t.indexes[c.Field]
+	emit := func(it btree.Item) bool {
+		return visit(t.rows[it.(indexEntry).pk])
+	}
+	switch c.Op {
+	case OpEq:
+		idx.AscendRange(indexEntry{v: c.Value, pk: ""}, nil, func(it btree.Item) bool {
+			e := it.(indexEntry)
+			if !Equal(e.v, c.Value) {
+				return false
+			}
+			return visit(t.rows[e.pk])
+		})
+	case OpPrefix:
+		lo := indexEntry{v: c.Value, pk: ""}
+		idx.AscendGreaterOrEqual(lo, func(it btree.Item) bool {
+			e := it.(indexEntry)
+			if e.v.Kind != KindString || !strings.HasPrefix(e.v.Str, c.Value.Str) {
+				return false
+			}
+			return visit(t.rows[e.pk])
+		})
+	case OpGe, OpGt:
+		idx.AscendGreaterOrEqual(indexEntry{v: c.Value, pk: ""}, emit)
+	case OpLe, OpLt:
+		idx.Ascend(func(it btree.Item) bool {
+			e := it.(indexEntry)
+			cmp := Compare(e.v, c.Value)
+			if cmp > 0 || (cmp == 0 && c.Op == OpLt) {
+				return false
+			}
+			return visit(t.rows[e.pk])
+		})
+	}
+}

@@ -1,0 +1,440 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gallery/internal/btree"
+	"gallery/internal/wal"
+)
+
+// Sentinel errors for callers that branch on failure modes.
+var (
+	ErrNoTable   = errors.New("relstore: no such table")
+	ErrDuplicate = errors.New("relstore: duplicate primary key")
+	ErrNotFound  = errors.New("relstore: row not found")
+)
+
+// Store is an embedded relational store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	log    *wal.Log // nil for volatile stores
+}
+
+type table struct {
+	schema  Schema
+	rows    map[string]Row
+	pks     *btree.Tree            // ordered primary keys for stable scans
+	indexes map[string]*btree.Tree // secondary indexes by column
+}
+
+// pkItem orders primary keys in the pks tree.
+type pkItem string
+
+func (p pkItem) Less(than btree.Item) bool { return p < than.(pkItem) }
+
+// indexEntry is one secondary-index posting: a column value plus the owning
+// row's primary key, ordered by (value, pk).
+type indexEntry struct {
+	v  Value
+	pk string
+}
+
+func (e indexEntry) Less(than btree.Item) bool {
+	o := than.(indexEntry)
+	if c := Compare(e.v, o.v); c != 0 {
+		return c < 0
+	}
+	return e.pk < o.pk
+}
+
+// NewMemory returns a volatile in-memory store.
+func NewMemory() *Store {
+	return &Store{tables: make(map[string]*table)}
+}
+
+// Open returns a durable store backed by a write-ahead log at path. Existing
+// state is replayed; a torn tail from a crash is truncated.
+func Open(path string, opts wal.Options) (*Store, error) {
+	s := &Store{tables: make(map[string]*table)}
+	l, err := wal.Open(path, opts, func(payload []byte) error {
+		var op walOp
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+			return fmt.Errorf("relstore: decode wal record: %w", err)
+		}
+		return s.apply(op)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.log = l
+	return s, nil
+}
+
+// Close releases the write-ahead log, if any.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// walOp is the durable form of every mutation.
+type walOp struct {
+	Kind   opKind
+	Schema *Schema // CreateTable
+	Table  string
+	Row    Row    // Insert/Update
+	PK     string // Delete
+	Batch  []walOp
+}
+
+type opKind uint8
+
+const (
+	opCreateTable opKind = iota + 1
+	opInsert
+	opUpdate
+	opDelete
+	opBatch
+)
+
+// logOp persists op if the store is durable.
+func (s *Store) logOp(op walOp) error {
+	if s.log == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return fmt.Errorf("relstore: encode wal record: %w", err)
+	}
+	return s.log.Append(buf.Bytes())
+}
+
+// apply performs op against in-memory state. Callers hold the write lock
+// (or, during recovery, have exclusive access).
+func (s *Store) apply(op walOp) error {
+	switch op.Kind {
+	case opCreateTable:
+		return s.applyCreateTable(*op.Schema)
+	case opInsert:
+		return s.applyInsert(op.Table, op.Row)
+	case opUpdate:
+		return s.applyUpdate(op.Table, op.Row)
+	case opDelete:
+		return s.applyDelete(op.Table, op.PK)
+	case opBatch:
+		for _, sub := range op.Batch {
+			if err := s.apply(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("relstore: unknown wal op %d", op.Kind)
+	}
+}
+
+// CreateTable declares a new table. Creating a table that already exists
+// with an identical schema is a no-op, so callers can declare schemas
+// unconditionally at startup over a recovered store.
+func (s *Store) CreateTable(schema Schema) error {
+	if err := schema.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.tables[schema.Table]; ok {
+		if schemaEqual(existing.schema, schema) {
+			return nil
+		}
+		return fmt.Errorf("relstore: table %s already exists with a different schema", schema.Table)
+	}
+	if err := s.applyCreateTable(schema); err != nil {
+		return err
+	}
+	return s.logOp(walOp{Kind: opCreateTable, Schema: &schema})
+}
+
+func schemaEqual(a, b Schema) bool {
+	if a.Table != b.Table || a.Key != b.Key ||
+		len(a.Columns) != len(b.Columns) || len(a.Indexes) != len(b.Indexes) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Indexes {
+		if a.Indexes[i] != b.Indexes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) applyCreateTable(schema Schema) error {
+	if existing, ok := s.tables[schema.Table]; ok {
+		// During WAL replay an identical create is idempotent.
+		if schemaEqual(existing.schema, schema) {
+			return nil
+		}
+		return fmt.Errorf("relstore: table %s already exists", schema.Table)
+	}
+	t := &table{
+		schema:  schema,
+		rows:    make(map[string]Row),
+		pks:     btree.New(),
+		indexes: make(map[string]*btree.Tree, len(schema.Indexes)),
+	}
+	for _, idx := range schema.Indexes {
+		t.indexes[idx] = btree.New()
+	}
+	s.tables[schema.Table] = t
+	return nil
+}
+
+// Insert adds a new row. Gallery data is immutable, so inserting an existing
+// primary key fails with ErrDuplicate rather than overwriting.
+func (s *Store) Insert(tableName string, row Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyInsert(tableName, row); err != nil {
+		return err
+	}
+	return s.logOp(walOp{Kind: opInsert, Table: tableName, Row: row})
+}
+
+func (s *Store) applyInsert(tableName string, row Row) error {
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	pk, err := t.schema.checkRow(row)
+	if err != nil {
+		return err
+	}
+	if _, exists := t.rows[pk]; exists {
+		return fmt.Errorf("%w: %s[%s]", ErrDuplicate, tableName, pk)
+	}
+	t.put(pk, row.Clone())
+	return nil
+}
+
+// Update replaces an existing row identified by its primary key. It fails
+// with ErrNotFound for absent rows; Gallery uses updates only for mutable
+// operational state such as deprecation flags and dependency pointers.
+func (s *Store) Update(tableName string, row Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyUpdate(tableName, row); err != nil {
+		return err
+	}
+	return s.logOp(walOp{Kind: opUpdate, Table: tableName, Row: row})
+}
+
+func (s *Store) applyUpdate(tableName string, row Row) error {
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	pk, err := t.schema.checkRow(row)
+	if err != nil {
+		return err
+	}
+	old, exists := t.rows[pk]
+	if !exists {
+		return fmt.Errorf("%w: %s[%s]", ErrNotFound, tableName, pk)
+	}
+	t.unindex(pk, old)
+	t.put(pk, row.Clone())
+	return nil
+}
+
+// Delete removes a row by primary key. Deleting an absent row fails with
+// ErrNotFound.
+func (s *Store) Delete(tableName, pk string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyDelete(tableName, pk); err != nil {
+		return err
+	}
+	return s.logOp(walOp{Kind: opDelete, Table: tableName, PK: pk})
+}
+
+func (s *Store) applyDelete(tableName, pk string) error {
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	old, exists := t.rows[pk]
+	if !exists {
+		return fmt.Errorf("%w: %s[%s]", ErrNotFound, tableName, pk)
+	}
+	t.unindex(pk, old)
+	delete(t.rows, pk)
+	t.pks.Delete(pkItem(pk))
+	return nil
+}
+
+// put installs row under pk and maintains all indexes. Caller has validated.
+func (t *table) put(pk string, row Row) {
+	t.rows[pk] = row
+	t.pks.ReplaceOrInsert(pkItem(pk))
+	for col, idx := range t.indexes {
+		if v, ok := row[col]; ok && !v.IsNull() {
+			idx.ReplaceOrInsert(indexEntry{v: v, pk: pk})
+		}
+	}
+}
+
+// unindex removes row's postings from all indexes.
+func (t *table) unindex(pk string, row Row) {
+	for col, idx := range t.indexes {
+		if v, ok := row[col]; ok && !v.IsNull() {
+			idx.Delete(indexEntry{v: v, pk: pk})
+		}
+	}
+}
+
+// Mutation is one element of an atomic Batch.
+type Mutation struct {
+	Kind  MutationKind
+	Table string
+	Row   Row    // Insert/Update
+	PK    string // Delete
+}
+
+// MutationKind selects the operation a Mutation performs.
+type MutationKind uint8
+
+// Batch mutation kinds.
+const (
+	MutInsert MutationKind = iota + 1
+	MutUpdate
+	MutDelete
+)
+
+// Batch applies mutations atomically: either all succeed or none are
+// applied. It is Gallery's tool for multi-row invariants, e.g. writing a new
+// model-instance version together with the dependency-graph rows it bumps
+// (paper Figures 6–7).
+func (s *Store) Batch(muts []Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate every mutation against current state plus the batch's own
+	// earlier effects, without mutating, by simulating key presence.
+	if err := s.validateBatch(muts); err != nil {
+		return err
+	}
+	ops := make([]walOp, len(muts))
+	for i, m := range muts {
+		switch m.Kind {
+		case MutInsert:
+			ops[i] = walOp{Kind: opInsert, Table: m.Table, Row: m.Row}
+		case MutUpdate:
+			ops[i] = walOp{Kind: opUpdate, Table: m.Table, Row: m.Row}
+		case MutDelete:
+			ops[i] = walOp{Kind: opDelete, Table: m.Table, PK: m.PK}
+		}
+	}
+	for _, op := range ops {
+		if err := s.apply(op); err != nil {
+			// validateBatch guarantees this cannot happen; if it does, state
+			// may be partially applied and the only safe move is to surface it.
+			return fmt.Errorf("relstore: batch apply after validation: %w", err)
+		}
+	}
+	return s.logOp(walOp{Kind: opBatch, Batch: ops})
+}
+
+// validateBatch checks all mutations, tracking the batch's own inserts and
+// deletes so later mutations see earlier ones.
+func (s *Store) validateBatch(muts []Mutation) error {
+	type key struct{ table, pk string }
+	// present overlays key existence changes made by the batch itself.
+	present := make(map[key]bool)
+	exists := func(t *table, tableName, pk string) bool {
+		if v, ok := present[key{tableName, pk}]; ok {
+			return v
+		}
+		_, ok := t.rows[pk]
+		return ok
+	}
+	for i, m := range muts {
+		t, ok := s.tables[m.Table]
+		if !ok {
+			return fmt.Errorf("%w: %s (batch element %d)", ErrNoTable, m.Table, i)
+		}
+		switch m.Kind {
+		case MutInsert:
+			pk, err := t.schema.checkRow(m.Row)
+			if err != nil {
+				return fmt.Errorf("batch element %d: %w", i, err)
+			}
+			if exists(t, m.Table, pk) {
+				return fmt.Errorf("%w: %s[%s] (batch element %d)", ErrDuplicate, m.Table, pk, i)
+			}
+			present[key{m.Table, pk}] = true
+		case MutUpdate:
+			pk, err := t.schema.checkRow(m.Row)
+			if err != nil {
+				return fmt.Errorf("batch element %d: %w", i, err)
+			}
+			if !exists(t, m.Table, pk) {
+				return fmt.Errorf("%w: %s[%s] (batch element %d)", ErrNotFound, m.Table, pk, i)
+			}
+		case MutDelete:
+			if !exists(t, m.Table, m.PK) {
+				return fmt.Errorf("%w: %s[%s] (batch element %d)", ErrNotFound, m.Table, m.PK, i)
+			}
+			present[key{m.Table, m.PK}] = false
+		default:
+			return fmt.Errorf("relstore: batch element %d has unknown kind %d", i, m.Kind)
+		}
+	}
+	return nil
+}
+
+// Get fetches a row copy by primary key.
+func (s *Store) Get(tableName, pk string) (Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s[%s]", ErrNotFound, tableName, pk)
+	}
+	return row.Clone(), nil
+}
+
+// Len returns the number of rows in a table.
+func (s *Store) Len(tableName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return len(t.rows), nil
+}
+
+// Tables lists the names of all tables.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,458 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gallery/internal/clock"
+	"gallery/internal/core"
+	"gallery/internal/expr"
+	"gallery/internal/uuid"
+)
+
+// Action is a framework-agnostic callback the engine invokes when an
+// action rule fires (paper §3.7: "we expect users to define callback
+// functions that will be triggered by the rule engine").
+type Action func(ctx *ActionContext) error
+
+// ActionContext carries everything a callback needs.
+type ActionContext struct {
+	Rule     *Rule
+	Instance *core.Instance
+	Metrics  map[string]float64
+	Params   map[string]any
+	Time     time.Time
+}
+
+// Alert is a record produced by the built-in alert/email/log actions and
+// by action failures. Experiments and operators read these.
+type Alert struct {
+	Time       time.Time
+	RuleUUID   string
+	InstanceID uuid.UUID
+	Action     string
+	Message    string
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Evaluations       int64 // rule condition evaluations
+	Matches           int64 // conditions that held
+	ActionsRun        int64
+	ActionErrors      int64
+	SelectionRequests int64
+	EventsTriggered   int64
+}
+
+// Engine evaluates rules against the Gallery registry. Evaluation is event
+// based (paper §3.7.2): direct selection requests and metric/metadata
+// update events both flow through a job queue drained by worker
+// goroutines; tests and callers that need determinism use Flush to wait
+// for the queue to empty.
+type Engine struct {
+	reg  *core.Registry
+	repo *Repo
+	clk  clock.Clock
+
+	// Environment scopes which rules apply (rules declare "production"
+	// etc.; an empty rule environment matches everywhere).
+	Environment string
+
+	mu      sync.Mutex
+	actions map[string]Action
+	alerts  []Alert
+	stats   Stats
+
+	jobs    chan job
+	pending sync.WaitGroup
+	started bool
+}
+
+type job struct {
+	rule       *Rule
+	instanceID uuid.UUID
+}
+
+// NewEngine assembles an engine. The built-in actions log, alert, and
+// email are pre-registered; applications add their own (deployment,
+// retraining, ...) with RegisterAction.
+func NewEngine(reg *core.Registry, repo *Repo, clk clock.Clock) *Engine {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	e := &Engine{
+		reg:         reg,
+		repo:        repo,
+		clk:         clk,
+		Environment: "production",
+		actions:     make(map[string]Action),
+	}
+	record := func(name string) Action {
+		return func(ctx *ActionContext) error {
+			e.recordAlert(Alert{
+				Time:       ctx.Time,
+				RuleUUID:   ctx.Rule.UUID,
+				InstanceID: instanceIDOf(ctx),
+				Action:     name,
+				Message:    fmt.Sprintf("%v", ctx.Params["message"]),
+			})
+			return nil
+		}
+	}
+	e.actions["log"] = record("log")
+	e.actions["alert"] = record("alert")
+	e.actions["email"] = record("email")
+	return e
+}
+
+func instanceIDOf(ctx *ActionContext) uuid.UUID {
+	if ctx.Instance == nil {
+		return uuid.Nil
+	}
+	return ctx.Instance.ID
+}
+
+// RegisterAction installs (or replaces) a named callback.
+func (e *Engine) RegisterAction(name string, a Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.actions[name] = a
+}
+
+// Start launches the worker pool that drains the evaluation job queue.
+func (e *Engine) Start(workers int) {
+	if workers <= 0 {
+		workers = 4
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	e.jobs = make(chan job, 1024)
+	jobs := e.jobs
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range jobs {
+				e.runActionRule(j.rule, j.instanceID)
+				e.pending.Done()
+			}
+		}()
+	}
+}
+
+// Stop drains outstanding jobs and stops the workers.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = false
+	jobs := e.jobs
+	e.jobs = nil
+	e.mu.Unlock()
+	e.pending.Wait()
+	close(jobs)
+}
+
+// Flush blocks until every queued job has been processed.
+func (e *Engine) Flush() { e.pending.Wait() }
+
+// --- event trigger (paper Fig. 8, Client 2) ---
+
+// MetricUpdated notifies the engine that an instance gained a metric
+// measurement. Every active action rule in scope that watches metrics is
+// re-evaluated against that instance — asynchronously when the engine is
+// started, inline otherwise.
+func (e *Engine) MetricUpdated(instanceID uuid.UUID) {
+	e.mu.Lock()
+	e.stats.EventsTriggered++
+	e.mu.Unlock()
+	for _, rule := range e.repo.Active() {
+		if rule.Kind != KindAction || !e.inScope(rule) {
+			continue
+		}
+		if !watches(rule, "metrics") {
+			continue
+		}
+		e.dispatch(rule, instanceID)
+	}
+}
+
+// MetadataUpdated notifies the engine that an instance's metadata changed;
+// action rules watching any of the named fields re-evaluate.
+func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {
+	e.mu.Lock()
+	e.stats.EventsTriggered++
+	e.mu.Unlock()
+	for _, rule := range e.repo.Active() {
+		if rule.Kind != KindAction || !e.inScope(rule) {
+			continue
+		}
+		hit := false
+		for _, f := range fields {
+			if watches(rule, f) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			e.dispatch(rule, instanceID)
+		}
+	}
+}
+
+func watches(rule *Rule, field string) bool {
+	for _, id := range rule.WatchedIdents() {
+		if id == field {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) dispatch(rule *Rule, instanceID uuid.UUID) {
+	e.mu.Lock()
+	started, jobs := e.started, e.jobs
+	if started {
+		e.pending.Add(1)
+	}
+	e.mu.Unlock()
+	if started {
+		jobs <- job{rule: rule, instanceID: instanceID}
+		return
+	}
+	e.runActionRule(rule, instanceID)
+}
+
+func (e *Engine) inScope(rule *Rule) bool {
+	return rule.Environment == "" || rule.Environment == e.Environment
+}
+
+// runActionRule evaluates one action rule against one instance and fires
+// its callbacks when the condition holds. Evaluation errors (e.g. a rule
+// referencing a metric the instance has not reported) mean "condition not
+// met", surfaced as a log alert rather than a crash.
+func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
+	env, in, err := e.instanceEnv(instanceID)
+	if err != nil {
+		e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
+			Action: "engine", Message: "environment build failed: " + err.Error()})
+		return
+	}
+	ok, evalErr := e.condition(rule, env)
+	e.mu.Lock()
+	e.stats.Evaluations++
+	if ok {
+		e.stats.Matches++
+	}
+	e.mu.Unlock()
+	if evalErr != nil {
+		var ee *expr.EvalError
+		if !errors.As(evalErr, &ee) {
+			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
+				Action: "engine", Message: "condition error: " + evalErr.Error()})
+		}
+		return
+	}
+	if !ok {
+		return
+	}
+	metrics, _ := env.Vars["metrics"].(map[string]any)
+	ctx := &ActionContext{
+		Rule:     rule,
+		Instance: in,
+		Metrics:  toFloatMap(metrics),
+		Time:     e.clk.Now(),
+	}
+	for _, ref := range rule.Actions {
+		e.mu.Lock()
+		a, known := e.actions[ref.Action]
+		e.mu.Unlock()
+		ctx.Params = ref.Params
+		if !known {
+			e.mu.Lock()
+			e.stats.ActionErrors++
+			e.mu.Unlock()
+			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
+				Action: ref.Action, Message: "unknown action"})
+			continue
+		}
+		err := a(ctx)
+		e.mu.Lock()
+		e.stats.ActionsRun++
+		if err != nil {
+			e.stats.ActionErrors++
+		}
+		e.mu.Unlock()
+		if err != nil {
+			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
+				Action: ref.Action, Message: "action failed: " + err.Error()})
+		}
+	}
+}
+
+// condition evaluates given && when against env.
+func (e *Engine) condition(rule *Rule, env *expr.Env) (bool, error) {
+	given, when, err := rule.Condition()
+	if err != nil {
+		return false, err
+	}
+	for _, n := range []expr.Node{given, when} {
+		if n == nil {
+			continue
+		}
+		v, err := expr.EvalNode(n, env)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.(bool)
+		if !ok {
+			return false, fmt.Errorf("rules: condition of %s is not boolean", rule.UUID)
+		}
+		if !b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- selection trigger (paper Fig. 8, Client 1) ---
+
+// SelectModel applies a model-selection rule over the candidates matching
+// filter and returns the winner (paper §3.7: "At serving time, users will
+// query Gallery for the champion model to serve based on the user-defined
+// rules").
+func (e *Engine) SelectModel(ruleID string, filter core.InstanceFilter) (*core.Instance, error) {
+	rule, ok := e.repo.Get(ruleID)
+	if !ok {
+		return nil, fmt.Errorf("rules: no active rule %s", ruleID)
+	}
+	if rule.Kind != KindSelection {
+		return nil, fmt.Errorf("rules: %s is not a selection rule", ruleID)
+	}
+	e.mu.Lock()
+	e.stats.SelectionRequests++
+	e.mu.Unlock()
+
+	candidates, err := e.reg.SearchInstances(filter)
+	if err != nil {
+		return nil, err
+	}
+	selNode, err := expr.Parse(rule.ModelSelection)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *core.Instance
+	var bestEnv map[string]any
+	for _, c := range candidates {
+		env, _, err := e.instanceEnv(c.ID)
+		if err != nil {
+			continue
+		}
+		ok, evalErr := e.condition(rule, env)
+		e.mu.Lock()
+		e.stats.Evaluations++
+		if ok {
+			e.stats.Matches++
+		}
+		e.mu.Unlock()
+		if evalErr != nil || !ok {
+			continue
+		}
+		if best == nil {
+			best, bestEnv = c, env.Vars
+			continue
+		}
+		prefer, err := expr.EvalNode(selNode, &expr.Env{Vars: map[string]any{
+			"a": env.Vars, "b": bestEnv,
+		}})
+		if err != nil {
+			continue
+		}
+		if p, ok := prefer.(bool); ok && p {
+			best, bestEnv = c, env.Vars
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("rules: no candidate satisfies rule %s", ruleID)
+	}
+	return best, nil
+}
+
+// instanceEnv builds the expression environment for one instance: its
+// metadata fields plus the latest metrics across scopes (later lifecycle
+// stages override earlier ones, so metrics.mape means the freshest,
+// most production-like measurement).
+func (e *Engine) instanceEnv(instanceID uuid.UUID) (*expr.Env, *core.Instance, error) {
+	in, err := e.reg.GetInstance(instanceID)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := e.reg.GetModel(in.ModelID)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics := make(map[string]any)
+	for _, scope := range []core.Scope{core.ScopeTraining, core.ScopeValidation, core.ScopeProduction} {
+		vals, err := e.reg.LatestMetrics(instanceID, scope)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, v := range vals {
+			metrics[k] = v
+		}
+	}
+	return &expr.Env{Vars: map[string]any{
+		"instance_id":     in.ID.String(),
+		"instance_name":   in.Name,
+		"model_id":        model.ID.String(),
+		"model_name":      model.Name,
+		"model_domain":    model.Domain,
+		"base_version_id": in.BaseVersionID,
+		"project":         in.Project,
+		"city":            in.City,
+		"framework":       in.Framework,
+		"created":         float64(in.Created.Unix()),
+		"created_time":    float64(in.Created.Unix()),
+		"deprecated":      in.Deprecated,
+		"metrics":         metrics,
+	}}, in, nil
+}
+
+func toFloatMap(m map[string]any) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// Alerts returns a copy of the alert log.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.alerts))
+	copy(out, e.alerts)
+	return out
+}
+
+func (e *Engine) recordAlert(a Alert) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.alerts = append(e.alerts, a)
+}
+
+// Stats returns a snapshot of activity counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

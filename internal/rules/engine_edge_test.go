@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"testing"
+	"time"
+
+	"gallery/internal/core"
+	"gallery/internal/uuid"
+)
+
+func TestStartIdempotentAndStopWithoutStart(t *testing.T) {
+	h := newHarness(t)
+	h.eng.Stop() // no-op before Start
+	h.eng.Start(2)
+	h.eng.Start(2) // second Start must not spawn a second pool or panic
+	h.eng.Stop()
+	h.eng.Stop() // double Stop is safe
+}
+
+func TestDispatchAfterStopRunsInline(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "Random Forest", "UberX")
+	in := h.upload(t, m, "sf")
+	fired := 0
+	h.eng.RegisterAction("forecasting_deployment", func(*ActionContext) error { fired++; return nil })
+	h.commit(t, listing2())
+	if _, err := h.g.InsertMetric(in.ID, "bias", core.ScopeValidation, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Start(2)
+	h.eng.Stop()
+	// After Stop, events evaluate inline rather than being lost.
+	h.eng.MetricUpdated(in.ID)
+	if fired != 1 {
+		t.Fatalf("fired = %d after stop", fired)
+	}
+}
+
+func TestUnknownInstanceEventAlerts(t *testing.T) {
+	h := newHarness(t)
+	h.commit(t, listing2())
+	h.eng.MetricUpdated(uuid.New()) // instance does not exist
+	alerts := h.eng.Alerts()
+	if len(alerts) != 1 || alerts[0].Action != "engine" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestSelectionConsidersLatestProductionOverValidation(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "linear_regression", "UberX")
+	in := h.upload(t, m, "sf")
+	// Validation says mae 2; later production measurement says 9. The
+	// engine's environment merges scopes with production winning, so the
+	// candidate must fail the mae < 5 filter.
+	if _, err := h.g.InsertMetric(in.ID, "mae", core.ScopeValidation, 2); err != nil {
+		t.Fatal(err)
+	}
+	h.clk.Advance(time.Minute)
+	if _, err := h.g.InsertMetric(in.ID, "mae", core.ScopeProduction, 9); err != nil {
+		t.Fatal(err)
+	}
+	h.commit(t, listing1())
+	if _, err := h.eng.SelectModel(listing1().UUID, core.InstanceFilter{}); err == nil {
+		t.Fatal("stale validation metric won over fresh production metric")
+	}
+}
+
+func TestSelectionSkipsDeprecatedCandidates(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "linear_regression", "UberX")
+	old := h.upload(t, m, "sf")
+	fresh := h.upload(t, m, "sf")
+	for _, in := range []*core.Instance{old, fresh} {
+		if _, err := h.g.InsertMetric(in.ID, "mae", core.ScopeValidation, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.g.DeprecateInstance(fresh.ID); err != nil {
+		t.Fatal(err)
+	}
+	h.commit(t, listing1())
+	got, err := h.eng.SelectModel(listing1().UUID, core.InstanceFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != old.ID {
+		t.Fatal("deprecated instance selected as champion")
+	}
+}
+
+func TestMultipleActionsPerRule(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "Random Forest", "UberX")
+	in := h.upload(t, m, "sf")
+	var order []string
+	h.eng.RegisterAction("first", func(*ActionContext) error { order = append(order, "first"); return nil })
+	h.eng.RegisterAction("second", func(*ActionContext) error { order = append(order, "second"); return nil })
+	r := listing2()
+	r.Actions = []ActionRef{{Action: "first"}, {Action: "second"}}
+	h.commit(t, r)
+	if _, err := h.g.InsertMetric(in.ID, "bias", core.ScopeValidation, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.MetricUpdated(in.ID)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestActionParamsReachCallback(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "Random Forest", "UberX")
+	in := h.upload(t, m, "sf")
+	var got map[string]any
+	h.eng.RegisterAction("configure", func(ctx *ActionContext) error {
+		got = ctx.Params
+		return nil
+	})
+	r := listing2()
+	r.Actions = []ActionRef{{Action: "configure", Params: map[string]any{"endpoint": "http://serve/cfg", "timeout": 3.0}}}
+	h.commit(t, r)
+	if _, err := h.g.InsertMetric(in.ID, "bias", core.ScopeValidation, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.MetricUpdated(in.ID)
+	if got == nil || got["endpoint"] != "http://serve/cfg" || got["timeout"] != 3.0 {
+		t.Fatalf("params = %v", got)
+	}
+}
+
+func TestActionContextCarriesMetrics(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "Random Forest", "UberX")
+	in := h.upload(t, m, "sf")
+	var metrics map[string]float64
+	h.eng.RegisterAction("forecasting_deployment", func(ctx *ActionContext) error {
+		metrics = ctx.Metrics
+		return nil
+	})
+	h.commit(t, listing2())
+	if _, err := h.g.InsertMetric(in.ID, "bias", core.ScopeValidation, 0.04); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.MetricUpdated(in.ID)
+	if metrics["bias"] != 0.04 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gallery/internal/api"
+	"gallery/internal/client"
+)
+
+func TestMetricsBlobEndpoint(t *testing.T) {
+	h := newHarness(t)
+	m := h.registerModel(t, "demand", "UberX")
+	in := h.upload(t, m.ID, "sf", []byte("x"))
+
+	if err := h.c.InsertMetricsBlob(in.ID, "validation", []byte("mape:7.5\nbias:0.02")); err != nil {
+		t.Fatal(err)
+	}
+	series, err := h.c.MetricSeries(in.ID, "mape", "validation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Value != 7.5 {
+		t.Fatalf("series = %v", series)
+	}
+	// Malformed blobs are 400s.
+	err = h.c.InsertMetricsBlob(in.ID, "validation", []byte("not a blob"))
+	if ae, ok := err.(*client.APIError); !ok || ae.Status != 400 {
+		t.Fatalf("bad blob err = %v", err)
+	}
+	// Bad scope is a 400.
+	err = h.c.InsertMetricsBlob(in.ID, "bogus", []byte("mape:1"))
+	if ae, ok := err.(*client.APIError); !ok || ae.Status != 400 {
+		t.Fatalf("bad scope err = %v", err)
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	h := newHarness(t)
+	m := h.registerModel(t, "Random Forest", "UberX")
+	in := h.upload(t, m.ID, "sf", []byte("x"))
+
+	ruleJSON := json.RawMessage(`{
+		"uuid": "alert-rule",
+		"team": "forecasting",
+		"kind": "action",
+		"when": "metrics.bias > 0.5",
+		"callback_actions": [{"action": "alert", "params": {"message": "bias out of range"}}]
+	}`)
+	if _, err := h.c.CommitRules("ops", "alerting", []json.RawMessage{ruleJSON}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.c.InsertMetric(in.ID, "bias", "production", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := h.c.Alerts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Message != "bias out of range" || alerts[0].Action != "alert" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestFleetHealthEndpoint(t *testing.T) {
+	h := newHarness(t)
+	m := h.registerModel(t, "demand", "UberX")
+	healthy := h.upload(t, m.ID, "sf", []byte("a"))
+	drifted := h.upload(t, m.ID, "nyc", []byte("b"))
+
+	report := func(id, scope string, v float64) {
+		t.Helper()
+		h.clk.Advance(time.Minute)
+		if _, err := h.c.InsertMetric(id, "mape", scope, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report(healthy.ID, "validation", 8)
+	for i := 0; i < 20; i++ {
+		report(healthy.ID, "production", 8.1)
+	}
+	report(drifted.ID, "validation", 8)
+	for i := 0; i < 15; i++ {
+		report(drifted.ID, "production", 8)
+	}
+	for i := 0; i < 10; i++ {
+		report(drifted.ID, "production", 18)
+	}
+
+	rep, err := h.c.CheckFleetHealth(api.FleetHealthRequest{
+		Project: "example-project",
+		Metric:  "mape",
+		Drift:   api.DriftRequest{Window: 10, Baseline: 15},
+		Skew:    api.SkewRequest{Threshold: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 2 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	if rep.Drifted != 1 {
+		t.Fatalf("drifted = %d", rep.Drifted)
+	}
+	for _, ih := range rep.Instances {
+		switch ih.City {
+		case "sf":
+			if ih.Drift.Drifted {
+				t.Error("healthy instance flagged as drifted")
+			}
+		case "nyc":
+			if !ih.Drift.Drifted {
+				t.Error("drifted instance not flagged")
+			}
+		}
+		if ih.Completeness <= 0 {
+			t.Errorf("completeness = %v", ih.Completeness)
+		}
+	}
+}

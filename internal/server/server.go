@@ -1,0 +1,860 @@
+// Package server exposes the Gallery registry and rule engine as a
+// stateless JSON/HTTP microservice — the reproduction's stand-in for the
+// paper's Thrift service (§4, §4.1). All state lives in the storage layer,
+// so any number of server processes can front the same stores, matching
+// the paper's "stateless microservice ... horizontally scalable" design.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gallery/internal/api"
+	"gallery/internal/core"
+	"gallery/internal/relstore"
+	"gallery/internal/rules"
+	"gallery/internal/uuid"
+)
+
+// Server wires HTTP routes to the registry and rule engine.
+type Server struct {
+	reg    *core.Registry
+	repo   *rules.Repo
+	engine *rules.Engine
+	mux    *http.ServeMux
+}
+
+// New builds a Server. The engine may be nil for storage-only deployments
+// (feature tiers 1–3 of paper §6.3); rule endpoints then return 404.
+func New(reg *core.Registry, repo *rules.Repo, engine *rules.Engine) *Server {
+	s := &Server{reg: reg, repo: repo, engine: engine, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	m := s.mux
+	m.HandleFunc("POST /v1/models", s.handleRegisterModel)
+	m.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
+	m.HandleFunc("GET /v1/models", s.handleModelsByBase)
+	m.HandleFunc("POST /v1/models/{id}/evolve", s.handleEvolveModel)
+	m.HandleFunc("GET /v1/models/{id}/evolution", s.handleEvolution)
+	m.HandleFunc("POST /v1/models/{id}/deprecate", s.handleDeprecateModel)
+	m.HandleFunc("GET /v1/models/{id}/versions", s.handleVersions)
+	m.HandleFunc("GET /v1/models/{id}/production", s.handleProductionVersion)
+	m.HandleFunc("GET /v1/models/{id}/upstreams", s.handleUpstreams)
+	m.HandleFunc("GET /v1/models/{id}/downstreams", s.handleDownstreams)
+	m.HandleFunc("POST /v1/versions/{id}/promote", s.handlePromote)
+	m.HandleFunc("POST /v1/deps", s.handleAddDep)
+	m.HandleFunc("DELETE /v1/deps", s.handleRemoveDep)
+
+	m.HandleFunc("POST /v1/instances", s.handleUploadInstance)
+	m.HandleFunc("GET /v1/instances/{id}", s.handleGetInstance)
+	m.HandleFunc("GET /v1/instances/{id}/blob", s.handleGetBlob)
+	m.HandleFunc("POST /v1/instances/{id}/deprecate", s.handleDeprecateInstance)
+	m.HandleFunc("POST /v1/instances/{id}/metrics", s.handleInsertMetric)
+	m.HandleFunc("POST /v1/instances/{id}/metricset", s.handleInsertMetrics)
+	m.HandleFunc("GET /v1/instances/{id}/metrics", s.handleMetricSeries)
+	m.HandleFunc("POST /v1/instances/{id}/drift", s.handleDrift)
+	m.HandleFunc("POST /v1/instances/{id}/skew", s.handleSkew)
+
+	m.HandleFunc("POST /v1/instances/{id}/metricsblob", s.handleInsertMetricsBlob)
+	m.HandleFunc("POST /v1/health/fleet", s.handleFleetHealth)
+
+	m.HandleFunc("POST /v1/search", s.handleSearch)
+	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
+	m.HandleFunc("GET /v1/stats", s.handleStats)
+
+	m.HandleFunc("POST /v1/rules", s.handleCommitRules)
+	m.HandleFunc("GET /v1/rules", s.handleListRules)
+	m.HandleFunc("POST /v1/rules/{id}/select", s.handleSelect)
+	m.HandleFunc("GET /v1/alerts", s.handleAlerts)
+}
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule):
+		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrCycle), errors.Is(err, relstore.ErrDuplicate):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, api.Error{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 256<<20))
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", core.ErrBadSpec, err)
+	}
+	return nil
+}
+
+func pathUUID(r *http.Request, name string) (uuid.UUID, error) {
+	u, err := uuid.Parse(r.PathValue(name))
+	if err != nil {
+		return uuid.Nil, fmt.Errorf("%w: bad %s: %v", core.ErrBadSpec, name, err)
+	}
+	return u, nil
+}
+
+// --- models ---
+
+func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterModelRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	spec := core.ModelSpec{
+		BaseVersionID: req.BaseVersionID,
+		Project:       req.Project,
+		Name:          req.Name,
+		Owner:         req.Owner,
+		Team:          req.Team,
+		Domain:        req.Domain,
+		Description:   req.Description,
+		InitialMajor:  req.InitialMajor,
+	}
+	for _, up := range req.Upstreams {
+		u, err := uuid.Parse(up)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: bad upstream id %q", core.ErrBadSpec, up))
+			return
+		}
+		spec.Upstreams = append(spec.Upstreams, u)
+	}
+	m, err := s.reg.RegisterModel(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, modelDTO(m))
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.reg.GetModel(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelDTO(m))
+}
+
+func (s *Server) handleModelsByBase(w http.ResponseWriter, r *http.Request) {
+	base := r.URL.Query().Get("base_version_id")
+	if base == "" {
+		writeErr(w, fmt.Errorf("%w: base_version_id query parameter required", core.ErrBadSpec))
+		return
+	}
+	ms, err := s.reg.ModelsByBase(base)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelDTOs(ms))
+}
+
+func (s *Server) handleEvolveModel(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.EvolveModelRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.reg.EvolveModel(id, req.Description)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, modelDTO(m))
+}
+
+func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	chain, err := s.reg.Evolution(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelDTOs(chain))
+}
+
+func (s *Server) handleDeprecateModel(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.DeprecateModel(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	vs, err := s.reg.VersionHistory(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]api.VersionRecord, len(vs))
+	for i, v := range vs {
+		out[i] = versionDTO(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProductionVersion(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := s.reg.ProductionVersion(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, versionDTO(v))
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.Promote(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUpstreams(w http.ResponseWriter, r *http.Request)   { s.handleDeps(w, r, true) }
+func (s *Server) handleDownstreams(w http.ResponseWriter, r *http.Request) { s.handleDeps(w, r, false) }
+
+func (s *Server) handleDeps(w http.ResponseWriter, r *http.Request, up bool) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var ids []uuid.UUID
+	if up {
+		ids, err = s.reg.Upstreams(id)
+	} else {
+		ids, err = s.reg.Downstreams(id)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]string, len(ids))
+	for i, u := range ids {
+		out[i] = u.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAddDep(w http.ResponseWriter, r *http.Request) {
+	from, to, err := depPair(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.AddDependency(from, to); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRemoveDep(w http.ResponseWriter, r *http.Request) {
+	from, to, err := depPair(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.RemoveDependency(from, to); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func depPair(r *http.Request) (from, to uuid.UUID, err error) {
+	var req api.DependencyRequest
+	if err := decode(r, &req); err != nil {
+		return uuid.Nil, uuid.Nil, err
+	}
+	from, err = uuid.Parse(req.From)
+	if err != nil {
+		return uuid.Nil, uuid.Nil, fmt.Errorf("%w: bad from id", core.ErrBadSpec)
+	}
+	to, err = uuid.Parse(req.To)
+	if err != nil {
+		return uuid.Nil, uuid.Nil, fmt.Errorf("%w: bad to id", core.ErrBadSpec)
+	}
+	return from, to, nil
+}
+
+// --- instances ---
+
+func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
+	var req api.UploadInstanceRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	modelID, err := uuid.Parse(req.ModelID)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad model_id", core.ErrBadSpec))
+		return
+	}
+	in, err := s.reg.UploadInstance(core.InstanceSpec{
+		ModelID:      modelID,
+		Name:         req.Name,
+		City:         req.City,
+		Framework:    req.Framework,
+		TrainingData: req.TrainingData,
+		CodePointer:  req.CodePointer,
+		Seed:         req.Seed,
+		Epochs:       req.Epochs,
+		Hyperparams:  req.Hyperparams,
+		Features:     req.Features,
+	}, req.Blob)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, instanceDTO(in))
+}
+
+func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	in, err := s.reg.GetInstance(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, instanceDTO(in))
+}
+
+func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	data, err := s.reg.FetchBlob(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.DeprecateInstance(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.InsertMetricRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.reg.InsertMetric(id, req.Name, core.Scope(req.Scope), req.Value)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Metric updates are rule-engine events (paper Fig. 8, Client 2).
+	if s.engine != nil {
+		s.engine.MetricUpdated(id)
+	}
+	writeJSON(w, http.StatusCreated, metricDTO(m))
+}
+
+func (s *Server) handleInsertMetrics(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.InsertMetricsRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.InsertMetrics(id, core.Scope(req.Scope), req.Values); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.engine != nil {
+		s.engine.MetricUpdated(id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetricSeries(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	ms, err := s.reg.MetricSeries(id, q.Get("name"), core.Scope(q.Get("scope")))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]api.Metric, len(ms))
+	for i, m := range ms {
+		out[i] = metricDTO(m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.DriftRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := s.reg.CheckDrift(id, core.DriftConfig{
+		Metric: req.Metric, Window: req.Window, Baseline: req.Baseline, Threshold: req.Threshold,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.DriftReport{
+		InstanceID:   rep.InstanceID.String(),
+		Metric:       rep.Metric,
+		BaselineMean: rep.BaselineMean,
+		RecentMean:   rep.RecentMean,
+		Degradation:  rep.Degradation,
+		Drifted:      rep.Drifted,
+		Samples:      rep.Samples,
+	})
+}
+
+func (s *Server) handleSkew(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.SkewRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := s.reg.CheckSkew(id, core.SkewConfig{Metric: req.Metric, Threshold: req.Threshold})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SkewReport{
+		InstanceID:   rep.InstanceID.String(),
+		Metric:       rep.Metric,
+		OfflineScope: string(rep.OfflineScope),
+		Offline:      rep.Offline,
+		Production:   rep.Production,
+		Gap:          rep.Gap,
+		Skewed:       rep.Skewed,
+		Checked:      rep.Checked,
+	})
+}
+
+// handleInsertMetricsBlob accepts the paper's raw "<metric>:<value>" blob
+// format (§3.3.3); the scope travels as a query parameter.
+func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	scope := core.Scope(r.URL.Query().Get("scope"))
+	blob, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: read metrics blob: %v", core.ErrBadSpec, err))
+		return
+	}
+	if err := s.reg.InsertMetricsBlob(id, scope, blob); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.engine != nil {
+		s.engine.MetricUpdated(id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetHealthRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := s.reg.CheckFleetHealth(core.FleetHealthConfig{
+		Project: req.Project,
+		Metric:  req.Metric,
+		Drift: core.DriftConfig{
+			Metric: req.Metric, Window: req.Drift.Window,
+			Baseline: req.Drift.Baseline, Threshold: req.Drift.Threshold,
+		},
+		Skew:  core.SkewConfig{Metric: req.Metric, Threshold: req.Skew.Threshold},
+		Limit: req.Limit,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := api.FleetHealth{
+		Project: rep.Project, Total: rep.Total, Drifted: rep.Drifted,
+		Skewed: rep.Skewed, LowMetadata: rep.LowMetadata, MissingMetrics: rep.MissingMetrics,
+	}
+	for _, ih := range rep.Instances {
+		out.Instances = append(out.Instances, api.InstanceHealth{
+			InstanceID:   ih.InstanceID.String(),
+			ModelName:    ih.ModelName,
+			City:         ih.City,
+			Completeness: ih.Completeness,
+			HasMetrics:   ih.HasMetrics,
+			Drift: api.DriftReport{
+				InstanceID: ih.InstanceID.String(), Metric: ih.Drift.Metric,
+				BaselineMean: ih.Drift.BaselineMean, RecentMean: ih.Drift.RecentMean,
+				Degradation: ih.Drift.Degradation, Drifted: ih.Drift.Drifted, Samples: ih.Drift.Samples,
+			},
+			Skew: api.SkewReport{
+				InstanceID: ih.InstanceID.String(), Metric: ih.Skew.Metric,
+				OfflineScope: string(ih.Skew.OfflineScope), Offline: ih.Skew.Offline,
+				Production: ih.Skew.Production, Gap: ih.Skew.Gap,
+				Skewed: ih.Skew.Skewed, Checked: ih.Skew.Checked,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- search / lineage / stats ---
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req api.SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	filter, err := FilterFromSearch(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ins, err := s.reg.SearchInstances(filter)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, instanceDTOs(ins))
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	base := r.PathValue("base")
+	ins, err := s.reg.Lineage(base)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, instanceDTOs(ins))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	models, instances, metrics := s.reg.Counts()
+	writeJSON(w, http.StatusOK, api.Stats{Models: models, Instances: instances, Metrics: metrics})
+}
+
+// --- rules ---
+
+func (s *Server) handleCommitRules(w http.ResponseWriter, r *http.Request) {
+	if s.repo == nil {
+		writeErr(w, fmt.Errorf("%w: rule engine not enabled", core.ErrNotFound))
+		return
+	}
+	var req api.CommitRulesRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var upserts []*rules.Rule
+	for _, raw := range req.Upserts {
+		rule, err := rules.ParseRule(raw)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		upserts = append(upserts, rule)
+	}
+	commit, err := s.repo.Commit(req.Author, req.Message, upserts, req.Deletes)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"hash": commit.Hash})
+}
+
+func (s *Server) handleListRules(w http.ResponseWriter, r *http.Request) {
+	if s.repo == nil {
+		writeErr(w, fmt.Errorf("%w: rule engine not enabled", core.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.repo.Active())
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeErr(w, fmt.Errorf("%w: rule engine not enabled", core.ErrNotFound))
+		return
+	}
+	ruleID := r.PathValue("id")
+	var req api.SelectModelRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	filter, err := FilterFromSearch(req.Filter)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	in, err := s.engine.SelectModel(ruleID, filter)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, instanceDTO(in))
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeErr(w, fmt.Errorf("%w: rule engine not enabled", core.ErrNotFound))
+		return
+	}
+	alerts := s.engine.Alerts()
+	out := make([]api.Alert, len(alerts))
+	for i, a := range alerts {
+		out[i] = api.Alert{
+			Time:       a.Time,
+			RuleUUID:   a.RuleUUID,
+			InstanceID: uuidStr(a.InstanceID),
+			Action:     a.Action,
+			Message:    a.Message,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// FilterFromSearch translates the wire constraint list (paper Listing 5
+// shape) into a core.InstanceFilter.
+func FilterFromSearch(req api.SearchRequest) (core.InstanceFilter, error) {
+	f := core.InstanceFilter{IncludeDeprecated: req.IncludeDeprecated, Limit: req.Limit}
+	for _, c := range req.Constraints {
+		op, err := relstore.ParseOp(c.Operator)
+		if err != nil {
+			return f, fmt.Errorf("%w: %v", core.ErrBadSpec, err)
+		}
+		switch c.Field {
+		case "projectName", "project":
+			f.Project = c.Value
+		case "modelName", "name":
+			f.Name = c.Value
+		case "city":
+			f.City = c.Value
+		case "baseVersionId", "base_version_id":
+			f.BaseVersionID = c.Value
+		case "framework":
+			f.Framework = c.Value
+		case "modelId", "model_id":
+			id, err := uuid.Parse(c.Value)
+			if err != nil {
+				return f, fmt.Errorf("%w: bad model_id %q", core.ErrBadSpec, c.Value)
+			}
+			f.ModelID = id
+		case "metricName":
+			f.MetricName = c.Value
+		case "metricScope":
+			f.MetricScope = core.Scope(c.Value)
+		case "metricValue":
+			f.MetricOp = op
+			f.MetricValue = c.Number
+		default:
+			return f, fmt.Errorf("%w: unknown search field %q", core.ErrBadSpec, c.Field)
+		}
+		// Metadata fields only support equality on the wire; metricValue
+		// carries the comparison operator.
+		if c.Field != "metricValue" && op != relstore.OpEq {
+			return f, fmt.Errorf("%w: field %s only supports operator equal", core.ErrBadSpec, c.Field)
+		}
+	}
+	if f.MetricName != "" && f.MetricOp == 0 {
+		return f, fmt.Errorf("%w: metricName constraint needs a metricValue constraint", core.ErrBadSpec)
+	}
+	return f, nil
+}
+
+// --- DTO conversions ---
+
+func modelDTO(m *core.Model) api.Model {
+	return api.Model{
+		ID:            m.ID.String(),
+		BaseVersionID: m.BaseVersionID,
+		Project:       m.Project,
+		Name:          m.Name,
+		Owner:         m.Owner,
+		Team:          m.Team,
+		Domain:        m.Domain,
+		Description:   m.Description,
+		Major:         m.Major,
+		PrevModel:     uuidStr(m.PrevModel),
+		NextModel:     uuidStr(m.NextModel),
+		Created:       m.Created,
+		Deprecated:    m.Deprecated,
+	}
+}
+
+func modelDTOs(ms []*core.Model) []api.Model {
+	out := make([]api.Model, len(ms))
+	for i, m := range ms {
+		out[i] = modelDTO(m)
+	}
+	return out
+}
+
+func instanceDTO(in *core.Instance) api.Instance {
+	return api.Instance{
+		ID:            in.ID.String(),
+		ModelID:       in.ModelID.String(),
+		BaseVersionID: in.BaseVersionID,
+		Project:       in.Project,
+		Name:          in.Name,
+		City:          in.City,
+		Framework:     in.Framework,
+		TrainingData:  in.TrainingData,
+		CodePointer:   in.CodePointer,
+		Seed:          in.Seed,
+		Epochs:        in.Epochs,
+		Hyperparams:   in.Hyperparams,
+		Features:      in.Features,
+		BlobLocation:  in.BlobLocation,
+		Created:       in.Created,
+		Deprecated:    in.Deprecated,
+	}
+}
+
+func instanceDTOs(ins []*core.Instance) []api.Instance {
+	out := make([]api.Instance, len(ins))
+	for i, in := range ins {
+		out[i] = instanceDTO(in)
+	}
+	return out
+}
+
+func metricDTO(m *core.Metric) api.Metric {
+	return api.Metric{
+		ID:         m.ID.String(),
+		InstanceID: m.InstanceID.String(),
+		ModelID:    m.ModelID.String(),
+		Name:       m.Name,
+		Scope:      string(m.Scope),
+		Value:      m.Value,
+		At:         m.At,
+	}
+}
+
+func versionDTO(v *core.VersionRecord) api.VersionRecord {
+	return api.VersionRecord{
+		ID:          v.ID.String(),
+		ModelID:     v.ModelID.String(),
+		Major:       v.Major,
+		Minor:       v.Minor,
+		Version:     v.String(),
+		Cause:       string(v.Cause),
+		InstanceID:  uuidStr(v.InstanceID),
+		TriggeredBy: uuidStr(v.TriggeredBy),
+		Created:     v.Created,
+		Production:  v.Production,
+	}
+}
+
+func uuidStr(u uuid.UUID) string {
+	if u.IsNil() {
+		return ""
+	}
+	return u.String()
+}

@@ -1,0 +1,76 @@
+// Package sim implements the Marketplace Simulation platform of the
+// paper's Case 2 (§4.3): an agent-based discrete-event simulator hosting a
+// simulated world of riders and driver-partners, with demand forecasting
+// models in the loop for surge pricing.
+//
+// The simulator runs in two modes that reproduce the paper's before/after
+// comparison: ModeInSimTraining trains every model variant inside the
+// simulation run (the pre-Gallery state, where "ML developers implemented
+// models directly in the simulator and trained them on the fly"), and
+// ModeGalleryServed fetches pre-trained instances from a Gallery registry
+// (the post-Gallery state that decouples training from serving). Resource
+// accounting makes the paper's claimed savings — memory and CPU time per
+// simulation — measurable.
+package sim
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind uint8
+
+const (
+	evRiderRequest eventKind = iota + 1
+	evTripEnd
+	evMatch
+	evModelRefresh
+	evReposition
+)
+
+// event is one scheduled occurrence. Payload fields are used per kind.
+type event struct {
+	at   float64 // simulation seconds
+	kind eventKind
+	seq  uint64 // tie-break for determinism
+
+	rider  rider
+	driver int
+}
+
+// eventQueue is a time-ordered min-heap of events.
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// push schedules an event, stamping the deterministic tie-break sequence.
+func (q *eventQueue) push(e event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// pop removes the earliest event; callers check Len first.
+func (q *eventQueue) pop() event {
+	return heap.Pop(q).(event)
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gallery/internal/forecast"
+)
+
+func TestQuadrantMapping(t *testing.T) {
+	const g = 10.0
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{1, 1, 0}, {6, 1, 1}, {1, 6, 2}, {6, 6, 3},
+		{5, 5, 3}, {4.99, 4.99, 0},
+	}
+	for _, c := range cases {
+		if got := quadrant(c.x, c.y, g); got != c.want {
+			t.Errorf("quadrant(%v,%v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestQuadrantWeightsProperties(t *testing.T) {
+	for _, shift := range []float64{0, 0.5, 0.9} {
+		for h := 0; h < 48; h++ {
+			w := quadrantWeights(float64(h)*3600, shift)
+			var sum float64
+			for _, v := range w {
+				if v <= 0 {
+					t.Fatalf("shift=%v h=%d: non-positive weight %v", shift, h, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("shift=%v h=%d: weights sum to %v", shift, h, sum)
+			}
+		}
+	}
+	// No shift: uniform.
+	w := quadrantWeights(12345, 0)
+	for _, v := range w {
+		if v != 0.25 {
+			t.Fatalf("uniform weights = %v", w)
+		}
+	}
+	// With shift: quadrant 0 heavier at 09:00, quadrant 3 heavier at 21:00.
+	morning := quadrantWeights(9*3600, 0.9)
+	evening := quadrantWeights(21*3600, 0.9)
+	if morning[0] <= morning[3] {
+		t.Fatalf("morning weights = %v, want q0 > q3", morning)
+	}
+	if evening[3] <= evening[0] {
+		t.Fatalf("evening weights = %v, want q3 > q0", evening)
+	}
+}
+
+func TestSamplePointInQuadrant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const g = 10.0
+	for q := 0; q < 4; q++ {
+		for i := 0; i < 200; i++ {
+			x, y := samplePoint(rng, q, g)
+			if quadrant(x, y, g) != q {
+				t.Fatalf("samplePoint(%d) gave (%v,%v) in quadrant %d", q, x, y, quadrant(x, y, g))
+			}
+		}
+	}
+}
+
+func TestSampleQuadrantDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := [4]float64{0.7, 0.1, 0.1, 0.1}
+	counts := [4]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[sampleQuadrant(rng, w)]++
+	}
+	if got := float64(counts[0]) / n; got < 0.65 || got > 0.75 {
+		t.Fatalf("quadrant 0 sampled %v, want ~0.7", got)
+	}
+}
+
+func TestQuadrantTrainingSeriesShape(t *testing.T) {
+	s := QuadrantTrainingSeries(150, 0.9, 0, 24*10, 7)
+	if len(s) != 24*10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Quadrant 0 is morning-heavy: mean demand at 09:00 must exceed 21:00.
+	var morning, evening float64
+	for i, p := range s {
+		if p.V < 0 {
+			t.Fatalf("negative demand at %d", i)
+		}
+		switch i % 24 {
+		case 9:
+			morning += p.V
+		case 21:
+			evening += p.V
+		}
+	}
+	if morning <= evening {
+		t.Fatalf("quadrant 0 morning %v <= evening %v", morning, evening)
+	}
+}
+
+func TestRepositioningRequiresModels(t *testing.T) {
+	cfg := baseConfig(1)
+	cfg.RepositionEverySec = 600
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("repositioning without quadrant models accepted")
+	}
+	cfg.RepositionModels = []forecast.Model{&forecast.Heuristic{K: 3}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("repositioning with 1 model accepted")
+	}
+}
+
+func TestRepositioningReducesPickupDistance(t *testing.T) {
+	models := make([]forecast.Model, 4)
+	for i := range models {
+		m := &forecast.Heuristic{K: 3}
+		if err := m.Train(nil); err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+	base := Config{
+		Mode: ModeInSimTraining, ModelVariants: 1, TrainingPoints: 300,
+		Drivers: 60, DurationHours: 12, BaseDemand: 150,
+		SpatialShift: 0.9, Seed: 42,
+	}
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.RepositionEverySec = 600
+	on.RepositionFraction = 0.7
+	on.RepositionModels = models
+	got, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Repositions == 0 {
+		t.Fatal("no repositions happened")
+	}
+	if got.MeanPickupKm >= off.MeanPickupKm {
+		t.Fatalf("repositioning did not reduce pickup distance: %.2f vs %.2f",
+			got.MeanPickupKm, off.MeanPickupKm)
+	}
+}

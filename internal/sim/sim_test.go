@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/clock"
+	"gallery/internal/core"
+	"gallery/internal/forecast"
+	"gallery/internal/relstore"
+	"gallery/internal/uuid"
+)
+
+func baseConfig(seed int64) Config {
+	return Config{
+		Mode:           ModeInSimTraining,
+		ModelVariants:  4,
+		TrainingPoints: 24 * 30,
+		Drivers:        40,
+		DurationHours:  4,
+		BaseDemand:     200,
+		Seed:           seed,
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	rep, err := Run(baseConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompletedTrips == 0 {
+		t.Fatal("no trips completed")
+	}
+	if rep.MeanWaitSec < 0 || rep.P95WaitSec < rep.MeanWaitSec {
+		t.Fatalf("wait stats inconsistent: mean=%v p95=%v", rep.MeanWaitSec, rep.P95WaitSec)
+	}
+	if rep.DriverUtilization <= 0 || rep.DriverUtilization > 1 {
+		t.Fatalf("utilization = %v", rep.DriverUtilization)
+	}
+	if rep.SurgeUpdates != 4 { // hours 1–4 inclusive of the horizon edge
+		t.Fatalf("surge updates = %d", rep.SurgeUpdates)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+	c, err := Run(baseConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompletedTrips == c.CompletedTrips && a.MeanWaitSec == c.MeanWaitSec {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestMoreDriversLessWait(t *testing.T) {
+	few := baseConfig(3)
+	few.Drivers = 15
+	many := baseConfig(3)
+	many.Drivers = 120
+	repFew, err := Run(few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMany, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repMany.MeanWaitSec >= repFew.MeanWaitSec {
+		t.Fatalf("more drivers did not reduce waits: %v vs %v", repMany.MeanWaitSec, repFew.MeanWaitSec)
+	}
+	if repMany.CompletedTrips < repFew.CompletedTrips {
+		t.Fatalf("more drivers completed fewer trips: %d vs %d", repMany.CompletedTrips, repFew.CompletedTrips)
+	}
+}
+
+func TestInSimTrainingChargesResources(t *testing.T) {
+	cfg := baseConfig(5)
+	cfg.ModelVariants = 8
+	cfg.TrainingPoints = 1000
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCPU := cpuPerPoint * 1000 * 8
+	if rep.Resources.TrainCPUSeconds != wantCPU {
+		t.Fatalf("train CPU = %v, want %v", rep.Resources.TrainCPUSeconds, wantCPU)
+	}
+	wantMem := int64(8) * (memPerPoint*1000 + modelResidentBytes)
+	if rep.Resources.ModelMemoryBytes != wantMem {
+		t.Fatalf("model memory = %v, want %v", rep.Resources.ModelMemoryBytes, wantMem)
+	}
+	if rep.Resources.GalleryFetches != 0 {
+		t.Fatal("in-sim mode fetched from Gallery")
+	}
+}
+
+// galleryWithModels uploads n pre-trained model variants and returns the
+// registry plus their instance ids.
+func galleryWithModels(t *testing.T, n int) (*core.Registry, []uuid.UUID) {
+	t.Helper()
+	reg, err := core.New(relstore.NewMemory(), blobstore.NewMemory(blobstore.Options{}), core.Options{
+		Clock: clock.NewMock(time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)),
+		UUIDs: uuid.NewSeeded(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.RegisterModel(core.ModelSpec{BaseVersionID: "sim_demand", Project: "simulation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := forecast.Generate(forecast.CityConfig{
+		Name: "simworld", Base: 200, DailyAmp: 60, NoiseStd: 10, Seed: 99,
+	}, time.Unix(0, 0).UTC(), time.Hour, 24*30)
+	var ids []uuid.UUID
+	for i := 0; i < n; i++ {
+		fm := variant(i)
+		if err := fm.Train(series); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := forecast.Encode(fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := reg.UploadInstance(core.InstanceSpec{
+			ModelID: m.ID, Name: fm.Name(), Framework: "gallery-forecast",
+		}, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, in.ID)
+	}
+	return reg, ids
+}
+
+func TestGalleryServedMode(t *testing.T) {
+	reg, ids := galleryWithModels(t, 4)
+	cfg := baseConfig(5)
+	cfg.Mode = ModeGalleryServed
+	cfg.Registry = reg
+	cfg.ModelInstanceIDs = ids
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resources.TrainCPUSeconds != 0 {
+		t.Fatalf("gallery mode spent %v training CPU", rep.Resources.TrainCPUSeconds)
+	}
+	if rep.Resources.GalleryFetches != 4 {
+		t.Fatalf("fetches = %d", rep.Resources.GalleryFetches)
+	}
+	if rep.Resources.ModelMemoryBytes != 4*modelResidentBytes {
+		t.Fatalf("memory = %d", rep.Resources.ModelMemoryBytes)
+	}
+	if rep.CompletedTrips == 0 {
+		t.Fatal("no trips completed in gallery mode")
+	}
+}
+
+// TestResourceSavingsShape is the unit-level check of Experiment E10: the
+// Gallery-served run must save both simulated memory and CPU versus
+// in-sim training with the same variants.
+func TestResourceSavingsShape(t *testing.T) {
+	reg, ids := galleryWithModels(t, 4)
+
+	inSim := baseConfig(9)
+	inSim.ModelVariants = 4
+	repIn, err := Run(inSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := baseConfig(9)
+	served.Mode = ModeGalleryServed
+	served.Registry = reg
+	served.ModelInstanceIDs = ids
+	repServed, err := Run(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repServed.Resources.ModelMemoryBytes >= repIn.Resources.ModelMemoryBytes {
+		t.Fatalf("no memory savings: %d vs %d",
+			repServed.Resources.ModelMemoryBytes, repIn.Resources.ModelMemoryBytes)
+	}
+	if repServed.Resources.TrainCPUSeconds >= repIn.Resources.TrainCPUSeconds {
+		t.Fatalf("no CPU savings: %v vs %v",
+			repServed.Resources.TrainCPUSeconds, repIn.Resources.TrainCPUSeconds)
+	}
+	// The simulated world itself must behave comparably: same order of
+	// completed trips.
+	ratio := float64(repServed.CompletedTrips) / float64(repIn.CompletedTrips)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("modes diverged in world behaviour: %d vs %d trips",
+			repServed.CompletedTrips, repIn.CompletedTrips)
+	}
+}
+
+func TestGalleryModeValidation(t *testing.T) {
+	cfg := baseConfig(1)
+	cfg.Mode = ModeGalleryServed
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("gallery mode without registry accepted")
+	}
+	cfg.Mode = Mode(99)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		q.push(event{at: rng.Float64() * 1000, kind: evMatch})
+	}
+	prev := -1.0
+	for q.Len() > 0 {
+		e := q.pop()
+		if e.at < prev {
+			t.Fatalf("events out of order: %v after %v", e.at, prev)
+		}
+		prev = e.at
+	}
+}
+
+func TestEventQueueStableTies(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 10; i++ {
+		q.push(event{at: 42, kind: evMatch, driver: i})
+	}
+	for i := 0; i < 10; i++ {
+		e := q.pop()
+		if e.driver != i {
+			t.Fatalf("tie order violated: got driver %d at pos %d", e.driver, i)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if p := percentile(vals, 0.95); p != 5 {
+		t.Fatalf("p95 = %v", p)
+	}
+	if p := percentile(vals, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 1, 3) != 3 || clamp(-1, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
+		t.Fatal("clamp broken")
+	}
+}

@@ -1,0 +1,116 @@
+// Package uuid implements RFC 4122 version-4 UUIDs.
+//
+// Gallery abandons semantic versioning in favour of Git-style opaque
+// identifiers (paper §3.4.1): every model and model instance is identified by
+// a UUID, and all semantics live in searchable metadata. This package
+// provides the identifier type, a cryptographically random generator for
+// production use, and a deterministic seeded generator for tests and
+// reproducible experiments.
+package uuid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sync"
+)
+
+// UUID is a 128-bit RFC 4122 identifier.
+type UUID [16]byte
+
+// Nil is the zero UUID, used to mean "no identifier".
+var Nil UUID
+
+// ErrInvalid reports that a string is not a well-formed UUID.
+var ErrInvalid = errors.New("uuid: invalid format")
+
+// String renders the UUID in the canonical 8-4-4-4-12 form.
+func (u UUID) String() string {
+	var buf [36]byte
+	hex.Encode(buf[0:8], u[0:4])
+	buf[8] = '-'
+	hex.Encode(buf[9:13], u[4:6])
+	buf[13] = '-'
+	hex.Encode(buf[14:18], u[6:8])
+	buf[18] = '-'
+	hex.Encode(buf[19:23], u[8:10])
+	buf[23] = '-'
+	hex.Encode(buf[24:36], u[10:16])
+	return string(buf[:])
+}
+
+// IsNil reports whether u is the zero UUID.
+func (u UUID) IsNil() bool { return u == Nil }
+
+// MarshalText implements encoding.TextMarshaler.
+func (u UUID) MarshalText() ([]byte, error) { return []byte(u.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (u *UUID) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*u = parsed
+	return nil
+}
+
+// Parse converts a canonical UUID string back to a UUID.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return Nil, fmt.Errorf("%w: %q", ErrInvalid, s)
+	}
+	hexed := s[0:8] + s[9:13] + s[14:18] + s[19:23] + s[24:36]
+	if _, err := hex.Decode(u[:], []byte(hexed)); err != nil {
+		return Nil, fmt.Errorf("%w: %q", ErrInvalid, s)
+	}
+	return u, nil
+}
+
+// MustParse is Parse that panics on error, for use in tests and constants.
+func MustParse(s string) UUID {
+	u, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Generator produces UUIDs from an entropy source.
+type Generator struct {
+	mu  sync.Mutex
+	src io.Reader
+}
+
+// NewGenerator returns a generator backed by crypto/rand.
+func NewGenerator() *Generator { return &Generator{src: rand.Reader} }
+
+// NewSeeded returns a deterministic generator for tests; the sequence of
+// UUIDs depends only on seed.
+func NewSeeded(seed int64) *Generator {
+	return &Generator{src: mrand.New(mrand.NewSource(seed))}
+}
+
+// New returns the next version-4 UUID from the generator.
+func (g *Generator) New() UUID {
+	var u UUID
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, err := io.ReadFull(g.src, u[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a failure here
+		// means the process cannot make identifiers at all.
+		panic("uuid: entropy source failed: " + err.Error())
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u
+}
+
+var defaultGen = NewGenerator()
+
+// New returns a version-4 UUID from the process-wide crypto/rand generator.
+func New() UUID { return defaultGen.New() }

@@ -1,0 +1,151 @@
+package uuid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsV4(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u := New()
+		if got := u[6] >> 4; got != 4 {
+			t.Fatalf("version nibble = %x, want 4 (uuid %s)", got, u)
+		}
+		if got := u[8] >> 6; got != 2 {
+			t.Fatalf("variant bits = %b, want 10 (uuid %s)", got, u)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	u := New()
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("len(%q) = %d, want 36", s, len(s))
+	}
+	for _, i := range []int{8, 13, 18, 23} {
+		if s[i] != '-' {
+			t.Fatalf("%q: byte %d = %c, want '-'", s, i, s[i])
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	u := New()
+	back, err := Parse(u.String())
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", u, err)
+	}
+	if back != u {
+		t.Fatalf("round trip mismatch: %s != %s", back, u)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"0000000000000000000000000000000000000",
+		"00000000-0000-0000-0000-00000000000",    // too short
+		"00000000x0000-0000-0000-000000000000",   // wrong separator
+		"g0000000-0000-0000-0000-000000000000",   // non-hex
+		"00000000-0000-0000-0000-000000000000 ",  // trailing space
+		"00000000-0000-0000-0000-0000000000000x", // too long
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseAcceptsCanonical(t *testing.T) {
+	s := "316b3ab4-2509-4ea7-8025-00ca879dac61"
+	u, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	if u.String() != s {
+		t.Fatalf("String() = %q, want %q", u.String(), s)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a, b := NewSeeded(42), NewSeeded(42)
+	for i := 0; i < 50; i++ {
+		ua, ub := a.New(), b.New()
+		if ua != ub {
+			t.Fatalf("seeded generators diverged at %d: %s vs %s", i, ua, ub)
+		}
+	}
+	c := NewSeeded(43)
+	if a.New() == c.New() {
+		t.Fatal("different seeds produced the same UUID")
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	seen := make(map[UUID]bool, 10000)
+	g := NewSeeded(7)
+	for i := 0; i < 10000; i++ {
+		u := g.New()
+		if seen[u] {
+			t.Fatalf("duplicate UUID after %d draws: %s", i, u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestNilAndIsNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if New().IsNil() {
+		t.Error("fresh UUID reported nil")
+	}
+	if Nil.String() != "00000000-0000-0000-0000-000000000000" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+}
+
+func TestTextMarshalRoundTrip(t *testing.T) {
+	u := New()
+	b, err := u.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UUID
+	if err := back.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != u {
+		t.Fatalf("marshal round trip mismatch: %s != %s", back, u)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse("nope")
+}
+
+// Property: String/Parse is an identity over arbitrary byte patterns, and the
+// rendered form is always lowercase hex with dashes.
+func TestQuickStringParseIdentity(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		u := UUID(raw)
+		s := u.String()
+		if strings.ToLower(s) != s {
+			return false
+		}
+		back, err := Parse(s)
+		return err == nil && back == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

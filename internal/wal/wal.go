@@ -1,0 +1,166 @@
+// Package wal implements a write-ahead log used by the relational metadata
+// store for durability.
+//
+// The paper's Gallery stores metadata in MySQL, which is durable and
+// crash-recoverable; this reproduction's embedded metadata store gets the
+// same property from a length- and CRC-framed append-only log. Records are
+// opaque byte payloads. On recovery the log is replayed until the first
+// corrupt or torn record, and the file is truncated there so appends can
+// resume from a clean tail — the standard behaviour of production WALs.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record framing: 4-byte little-endian payload length, 4-byte CRC32C of the
+// payload, then the payload bytes.
+const headerSize = 8
+
+// maxRecordSize guards against interpreting a corrupt length field as a
+// multi-gigabyte allocation during recovery.
+const maxRecordSize = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an append-only record log. It is safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	size   int64
+	closed bool
+	sync   bool // fsync after every append
+}
+
+// Options configures a Log.
+type Options struct {
+	// Sync forces an fsync after every append. Slower, but survives OS
+	// crashes rather than just process crashes.
+	Sync bool
+}
+
+// Open opens (creating if necessary) the log at path, replays all intact
+// records through apply, truncates any torn tail, and returns a Log
+// positioned for appending. apply may be nil when the caller only appends.
+func Open(path string, opts Options, apply func(payload []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	valid, err := replay(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), size: valid, sync: opts.Sync}, nil
+}
+
+// replay streams records from the start of f, calling apply for each intact
+// record, and returns the offset of the first byte past the last intact
+// record. A short header, short payload, oversized length, or CRC mismatch
+// ends replay without error: it marks a torn write from a crash.
+func replay(f *os.File, apply func([]byte) error) (valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: seek for replay: %w", err)
+	}
+	r := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return 0, fmt.Errorf("wal: read header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordSize {
+			return valid, nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return 0, fmt.Errorf("wal: read payload: %w", err)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return valid, nil // corrupt payload: torn tail
+		}
+		if apply != nil {
+			if err := apply(payload); err != nil {
+				return 0, fmt.Errorf("wal: apply record: %w", err)
+			}
+		}
+		valid += headerSize + int64(n)
+	}
+}
+
+// Append durably adds one record to the log.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	l.size += headerSize + int64(len(payload))
+	return nil
+}
+
+// Size returns the byte size of the log's intact prefix.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes and closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: flush on close: %w", err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenApplyErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("apply failed")
+	if _, err := Open(path, Options{}, func([]byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Open with failing apply = %v, want wrapped apply error", err)
+	}
+}
+
+func TestOpenOnDirectoryFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, Options{}, nil); err == nil {
+		t.Fatal("Open on a directory succeeded")
+	}
+}
+
+func TestOversizedLengthTreatedAsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{}, nil)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a header claiming a multi-GB payload.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	count := 0
+	l2, err := Open(path, Options{}, func([]byte) error { count++; return nil })
+	if err != nil {
+		t.Fatalf("recovery from oversized length failed: %v", err)
+	}
+	defer l2.Close()
+	if count != 1 {
+		t.Fatalf("replayed %d records, want 1 (oversized header truncated)", count)
+	}
+	// The torn header must be gone so appends land cleanly.
+	if err := l2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncOptionAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, Options{Sync: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte("synced")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	l2, err := Open(path, Options{}, func([]byte) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if count != 5 {
+		t.Fatalf("replayed %d, want 5", count)
+	}
+}

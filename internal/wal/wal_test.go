@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openCollecting(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, err := Open(path, Options{}, func(p []byte) error {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollecting(t, path)
+	records := [][]byte{[]byte("one"), []byte(""), []byte("three-3"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got := openCollecting(t, path)
+	defer l2.Close()
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Errorf("record %d mismatch: %q vs %q", i, got[i], records[i])
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollecting(t, path)
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: chop 3 bytes off the file.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollecting(t, path)
+	if len(got) != 9 {
+		t.Fatalf("replayed %d records after torn tail, want 9", len(got))
+	}
+	// Appends after recovery must land on a clean boundary.
+	if err := l2.Append([]byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got3 := openCollecting(t, path)
+	if len(got3) != 10 || string(got3[9]) != "post-crash" {
+		t.Fatalf("after recovery+append got %d records, last %q", len(got3), got3[len(got3)-1])
+	}
+}
+
+func TestCorruptPayloadStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollecting(t, path)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("will-be-corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the second payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollecting(t, path)
+	defer l2.Close()
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replay after corruption returned %d records", len(got))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollecting(t, path)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func TestSizeTracksBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollecting(t, path)
+	defer l.Close()
+	if l.Size() != 0 {
+		t.Fatalf("fresh log Size = %d", l.Size())
+	}
+	if err := l.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != 108 {
+		t.Fatalf("Size after one 100-byte record = %d, want 108", got)
+	}
+}
+
+// Property: any sequence of payloads survives a close/reopen cycle intact and
+// in order.
+func TestQuickReplayIdentity(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(payloads [][]byte) bool {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("wal-%d", i))
+		l, err := Open(path, Options{}, nil)
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if err := l.Append(p); err != nil {
+				return false
+			}
+		}
+		if err := l.Close(); err != nil {
+			return false
+		}
+		var got [][]byte
+		l2, err := Open(path, Options{}, func(p []byte) error {
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			got = append(got, cp)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		defer l2.Close()
+		if len(got) != len(payloads) {
+			return false
+		}
+		for j := range got {
+			if !bytes.Equal(got[j], payloads[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
