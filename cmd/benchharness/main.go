@@ -5,6 +5,7 @@
 //	benchharness                          # everything
 //	benchharness -exp table1 -exp fig8    # a subset
 //	benchharness -exp scale -full         # include the 1M-instance tier
+//	benchharness -exp fig8 -metrics       # dump the metric registry after
 //
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"gallery/internal/experiments"
+	"gallery/internal/obs"
 )
 
 type expFlag []string
@@ -39,6 +41,7 @@ func main() {
 	var picks expFlag
 	flag.Var(&picks, "exp", "experiment to run (repeatable; default all)")
 	full := flag.Bool("full", false, "run the expensive full-scale tiers (1M instances)")
+	metrics := flag.Bool("metrics", false, "dump the process metric registry snapshot after the experiments")
 	flag.Parse()
 
 	scaleTiers := []int{10_000, 100_000}
@@ -187,6 +190,12 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if *metrics {
+		fmt.Println("=== metrics: process registry snapshot ===")
+		if err := obs.Default.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: dump metrics: %v\n", err)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -6,18 +6,29 @@
 //
 //	galleryd -addr :8440 -data /var/lib/gallery
 //	galleryd -addr :8440 -mem            # volatile, for demos
+//	galleryd -addr :8440 -mem -access-log  # JSON access log on stderr
+//
+// On SIGINT/SIGTERM the server drains, dumps the full metric registry
+// snapshot (the same JSON served at /v1/debug/metrics) to stderr, and
+// exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"gallery/internal/blobstore"
 	"gallery/internal/core"
+	"gallery/internal/obs"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/server"
@@ -26,12 +37,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8440", "listen address")
-		dataDir = flag.String("data", "gallery-data", "data directory for metadata WAL and blob replicas")
-		mem     = flag.Bool("mem", false, "run fully in memory (no durability)")
-		fsync   = flag.Bool("fsync", false, "fsync the metadata WAL on every write")
-		workers = flag.Int("workers", 4, "rule engine worker goroutines")
-		compact = flag.Int64("compact-mb", 256, "compact the metadata WAL at startup when larger than this many MiB (0 disables)")
+		addr      = flag.String("addr", ":8440", "listen address")
+		dataDir   = flag.String("data", "gallery-data", "data directory for metadata WAL and blob replicas")
+		mem       = flag.Bool("mem", false, "run fully in memory (no durability)")
+		fsync     = flag.Bool("fsync", false, "fsync the metadata WAL on every write")
+		workers   = flag.Int("workers", 4, "rule engine worker goroutines")
+		compact   = flag.Int64("compact-mb", 256, "compact the metadata WAL at startup when larger than this many MiB (0 disables)")
+		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
+		dumpStats = flag.Bool("dump-metrics", true, "dump the metric registry snapshot to stderr on shutdown")
 	)
 	flag.Parse()
 
@@ -75,11 +88,42 @@ func main() {
 	engine.Start(*workers)
 	defer engine.Stop()
 
-	srv := server.New(reg, repo, engine)
+	opts := server.Options{}
+	if *accessLog {
+		opts.AccessLog = os.Stderr
+	}
+	srv := server.NewWith(reg, repo, engine, opts)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
 	models, instances, metrics := reg.Counts()
 	fmt.Printf("galleryd: serving on %s (models=%d instances=%d metrics=%d, durable=%v)\n",
 		*addr, models, instances, metrics, !*mem)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatalf("galleryd: %v", err)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("galleryd: %v", err)
+		}
+	case sig := <-sigCh:
+		log.Printf("galleryd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("galleryd: shutdown: %v", err)
+		}
+		cancel()
+		srv.Flush() // drain queued rule-engine events before stopping
+	}
+
+	if *dumpStats {
+		fmt.Fprintln(os.Stderr, "galleryd: final metrics snapshot:")
+		if err := obs.Default.WriteJSON(os.Stderr); err != nil {
+			log.Printf("galleryd: dump metrics: %v", err)
+		}
 	}
 }

@@ -241,9 +241,21 @@ type Error struct {
 	Error string `json:"error"`
 }
 
-// Stats summarizes a running Gallery service.
+// Stats summarizes a running Gallery service: registry sizes plus the
+// headline observability numbers. The full metric registry (per-route
+// histograms, per-table counters) is served at /v1/debug/metrics.
 type Stats struct {
 	Models    int `json:"models"`
 	Instances int `json:"instances"`
 	Metrics   int `json:"metrics"`
+
+	Requests         int64   `json:"requests,omitempty"`
+	P50LatencyMS     float64 `json:"p50_latency_ms,omitempty"`
+	P95LatencyMS     float64 `json:"p95_latency_ms,omitempty"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio,omitempty"`
+	BlobPuts         int64   `json:"blob_puts,omitempty"`
+	BlobGets         int64   `json:"blob_gets,omitempty"`
+	RuleEvaluations  int64   `json:"rule_evaluations,omitempty"`
+	EngineDispatches int64   `json:"engine_dispatches,omitempty"`
+	EngineDrops      int64   `json:"engine_drops,omitempty"`
 }

@@ -27,6 +27,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gallery/internal/obs"
 )
 
 // Sentinel errors.
@@ -101,6 +103,39 @@ type Store struct {
 	opts     Options
 	stats    Stats
 	scheme   string
+	mx       storeMetrics
+}
+
+// storeMetrics holds the obs handles for one store. Latency histograms
+// include time spent on injected failures, so fault-heavy experiments
+// show up in the tail.
+type storeMetrics struct {
+	putSeconds, getSeconds, delSeconds *obs.Histogram
+	putErrors, getErrors, delErrors    *obs.Counter
+	corruptSkips                       *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return storeMetrics{
+		putSeconds:   reg.Histogram(obs.Name("blobstore_op_seconds", "op", "put"), obs.LatencyBuckets),
+		getSeconds:   reg.Histogram(obs.Name("blobstore_op_seconds", "op", "get"), obs.LatencyBuckets),
+		delSeconds:   reg.Histogram(obs.Name("blobstore_op_seconds", "op", "delete"), obs.LatencyBuckets),
+		putErrors:    reg.Counter(obs.Name("blobstore_op_errors_total", "op", "put")),
+		getErrors:    reg.Counter(obs.Name("blobstore_op_errors_total", "op", "get")),
+		delErrors:    reg.Counter(obs.Name("blobstore_op_errors_total", "op", "delete")),
+		corruptSkips: reg.Counter("blobstore_corrupt_skips_total"),
+	}
+}
+
+// Instrument redirects the store's metrics to reg (default obs.Default).
+// Call before serving traffic.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mx = newStoreMetrics(reg)
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -112,7 +147,7 @@ func NewMemory(opts Options) *Store {
 	for i := range reps {
 		reps[i] = &memBackend{blobs: make(map[string][]byte)}
 	}
-	return &Store{replicas: reps, opts: opts, scheme: "mem"}
+	return &Store{replicas: reps, opts: opts, scheme: "mem", mx: newStoreMetrics(nil)}
 }
 
 // NewDisk returns a Store whose replicas live in subdirectories of dir.
@@ -126,7 +161,7 @@ func NewDisk(dir string, opts Options) (*Store, error) {
 		}
 		reps[i] = &diskBackend{dir: sub}
 	}
-	return &Store{replicas: reps, opts: opts, scheme: "disk"}, nil
+	return &Store{replicas: reps, opts: opts, scheme: "disk", mx: newStoreMetrics(nil)}, nil
 }
 
 func normalize(opts Options) Options {
@@ -162,19 +197,23 @@ func unframe(framed []byte) ([]byte, error) {
 // A failure on any replica fails the put: Gallery prefers a clean failure
 // it can retry over a blob it cannot trust to be durable.
 func (s *Store) Put(key string, data []byte) (string, error) {
+	start := time.Now()
 	if key == "" || strings.ContainsAny(key, "/\\") {
 		return "", fmt.Errorf("blobstore: invalid key %q", key)
 	}
 	framed := frame(data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.mx.putSeconds.ObserveSince(start)
 	for i, r := range s.replicas {
 		if s.opts.Hook != nil {
 			if err := s.opts.Hook(OpPut, i, key); err != nil {
+				s.mx.putErrors.Inc()
 				return "", fmt.Errorf("blobstore: put %s replica %d: %w", key, i, err)
 			}
 		}
 		if err := r.put(key, framed); err != nil {
+			s.mx.putErrors.Inc()
 			return "", fmt.Errorf("blobstore: put %s replica %d: %w", key, i, err)
 		}
 	}
@@ -199,12 +238,14 @@ func (s *Store) Key(location string) (string, error) {
 // Get retrieves the blob at location, trying replicas in order and skipping
 // any that are missing or corrupt.
 func (s *Store) Get(location string) ([]byte, error) {
+	start := time.Now()
 	key, err := s.Key(location)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.mx.getSeconds.ObserveSince(start)
 	var lastErr error = ErrNotFound
 	for i, r := range s.replicas {
 		if s.opts.Hook != nil {
@@ -221,6 +262,7 @@ func (s *Store) Get(location string) ([]byte, error) {
 		data, err := unframe(framed)
 		if err != nil {
 			s.stats.CorruptSkips++
+			s.mx.corruptSkips.Inc()
 			lastErr = err
 			continue
 		}
@@ -229,22 +271,26 @@ func (s *Store) Get(location string) ([]byte, error) {
 		s.stats.Latency += s.opts.Latency.charge(len(data))
 		return data, nil
 	}
+	s.mx.getErrors.Inc()
 	return nil, fmt.Errorf("blobstore: get %s: %w", key, lastErr)
 }
 
 // Delete removes the blob from every replica. Missing replicas are ignored
 // so deletes are idempotent, but a blob absent everywhere is ErrNotFound.
 func (s *Store) Delete(location string) error {
+	start := time.Now()
 	key, err := s.Key(location)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.mx.delSeconds.ObserveSince(start)
 	found := false
 	for i, r := range s.replicas {
 		if s.opts.Hook != nil {
 			if err := s.opts.Hook(OpDelete, i, key); err != nil {
+				s.mx.delErrors.Inc()
 				return fmt.Errorf("blobstore: delete %s replica %d: %w", key, i, err)
 			}
 		}
@@ -253,6 +299,7 @@ func (s *Store) Delete(location string) error {
 		}
 	}
 	if !found {
+		s.mx.delErrors.Inc()
 		return fmt.Errorf("blobstore: delete %s: %w", key, ErrNotFound)
 	}
 	s.stats.Deletes++

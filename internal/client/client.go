@@ -262,11 +262,19 @@ func (c *Client) Lineage(base string) ([]api.Instance, error) {
 	return ins, err
 }
 
-// Stats reports store sizes.
+// Stats reports store sizes and headline observability numbers.
 func (c *Client) Stats() (api.Stats, error) {
 	var s api.Stats
 	err := c.do("GET", "/v1/stats", nil, &s)
 	return s, err
+}
+
+// DebugMetrics fetches the server's full metric registry snapshot
+// (per-route histograms, storage and rule-engine counters) as raw JSON.
+func (c *Client) DebugMetrics() (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do("GET", "/v1/debug/metrics", nil, &raw)
+	return raw, err
 }
 
 // CommitRules lands rule changes in the repository.

@@ -10,6 +10,7 @@ import (
 	"gallery/internal/blobstore"
 	"gallery/internal/clock"
 	"gallery/internal/dal"
+	"gallery/internal/obs"
 	"gallery/internal/relstore"
 	"gallery/internal/uuid"
 )
@@ -31,6 +32,8 @@ type Options struct {
 	UUIDs *uuid.Generator
 	// CacheBytes bounds the blob read cache (default 256 MiB).
 	CacheBytes int64
+	// Obs receives DAL metrics; nil uses obs.Default.
+	Obs *obs.Registry
 }
 
 // Registry is the Gallery service core: every API the paper's Thrift
@@ -68,6 +71,7 @@ func New(meta *relstore.Store, blobs *blobstore.Store, opts Options) (*Registry,
 	d := dal.New(meta, blobs, dal.Options{
 		CacheBytes: opts.CacheBytes,
 		Refs:       []dal.BlobRef{{Table: TableInstances, LocField: "blob_location"}},
+		Obs:        opts.Obs,
 	})
 	return &Registry{dal: d, clk: opts.Clock, gen: opts.UUIDs}, nil
 }
@@ -300,8 +304,14 @@ func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, er
 		Created:       g.now(),
 	}
 
-	// Blob first: if this fails nothing is recorded.
-	loc, err := g.dal.Blobs().Put(in.ID.String(), blob)
+	// Blob first: if this fails nothing is recorded. The location is
+	// pinned across the blob-write/metadata-insert window so a concurrent
+	// orphan collection cannot reap the not-yet-referenced blob (the DAL
+	// pin protocol; see internal/dal).
+	pinLoc := g.dal.Blobs().Location(in.ID.String())
+	g.dal.Pin(pinLoc)
+	defer g.dal.Unpin(pinLoc)
+	loc, err := g.dal.PutBlob(in.ID.String(), blob)
 	if err != nil {
 		return nil, fmt.Errorf("core: blob write for instance %s: %w", in.ID, err)
 	}

@@ -1,0 +1,195 @@
+// Package obs is Gallery's dependency-free observability substrate.
+//
+// The paper runs Gallery as a horizontally scaled stateless microservice
+// (§4) whose operators watch storage and rule-engine behaviour in
+// production; the model-management plane itself needs first-class
+// monitoring. This package provides the three primitives that cover that
+// need — atomic Counters, Gauges, and fixed-bucket Histograms with
+// p50/p95/p99 summaries — behind a Registry that renders to JSON for
+// GET /v1/debug/metrics and the CLI snapshot dumps.
+//
+// Metric naming scheme: snake_case base names suffixed with a unit
+// (_total, _seconds, _bytes) plus optional labels rendered in braces,
+// e.g. relstore_ops_total{op="insert",table="instances"}. Use Name to
+// build labelled names so the format stays uniform.
+//
+// Everything here is safe for concurrent use and allocation-light on the
+// hot path: a metric handle, once obtained from a Registry, updates with
+// a single atomic operation.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Default bucket sets. Bounds are upper bounds; observations above the
+// last bound land in an implicit overflow bucket.
+var (
+	// LatencyBuckets spans 100µs to 10s, suitable for request and
+	// storage-op latencies in seconds.
+	LatencyBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// SizeBuckets spans 256B to 256MiB, suitable for body and blob sizes.
+	SizeBuckets = []float64{
+		256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+	}
+)
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets
+// are defined by sorted upper bounds; one extra overflow bucket catches
+// observations above the last bound. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits; valid only when count > 0
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	sort.Float64s(cp)
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed wall-clock time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observation, or 0 with no observations.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank. Observations
+// in the overflow bucket are approximated by the maximum seen.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) { // overflow bucket
+			return h.Max()
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (target - cum) / n
+		return lo + (hi-lo)*frac
+	}
+	return h.Max()
+}
+
+// Name renders a labelled metric name: Name("x_total", "op", "put")
+// yields `x_total{op="put"}`. Labels are alternating key, value pairs
+// and are rendered in the order given.
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 16*len(labels))
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -178,6 +178,7 @@ func (s *Store) Select(q Query) ([]Row, error) {
 
 // SelectExplain runs a query and also reports how it executed.
 func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
+	s.countOp("select", q.Table)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[q.Table]

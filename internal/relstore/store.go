@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gallery/internal/btree"
+	"gallery/internal/obs"
 	"gallery/internal/wal"
 )
 
@@ -24,6 +26,47 @@ type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	log    *wal.Log // nil for volatile stores
+
+	obs        *obs.Registry
+	walSeconds *obs.Histogram
+	opMu       sync.RWMutex
+	opCounters map[opKey]*obs.Counter // handle cache: countOp is on every hot path
+}
+
+// opKey keys the per-(op, table) counter-handle cache.
+type opKey struct{ op, table string }
+
+// Instrument redirects the store's metrics to reg (default obs.Default).
+// Call before serving traffic.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = reg
+	s.walSeconds = reg.Histogram("relstore_wal_append_seconds", obs.LatencyBuckets)
+	s.opMu.Lock()
+	s.opCounters = make(map[opKey]*obs.Counter)
+	s.opMu.Unlock()
+}
+
+// countOp bumps the per-table operation counter, e.g.
+// relstore_ops_total{op="insert",table="instances"}. Handles are cached
+// per (op, table) so the hot path is one read-locked map hit and an
+// atomic increment — no name formatting or registry traffic.
+func (s *Store) countOp(op, tableName string) {
+	k := opKey{op, tableName}
+	s.opMu.RLock()
+	c, ok := s.opCounters[k]
+	s.opMu.RUnlock()
+	if !ok {
+		c = s.obs.Counter(obs.Name("relstore_ops_total", "op", op, "table", tableName))
+		s.opMu.Lock()
+		s.opCounters[k] = c
+		s.opMu.Unlock()
+	}
+	c.Inc()
 }
 
 type table struct {
@@ -55,13 +98,16 @@ func (e indexEntry) Less(than btree.Item) bool {
 
 // NewMemory returns a volatile in-memory store.
 func NewMemory() *Store {
-	return &Store{tables: make(map[string]*table)}
+	s := &Store{tables: make(map[string]*table)}
+	s.Instrument(nil)
+	return s
 }
 
 // Open returns a durable store backed by a write-ahead log at path. Existing
 // state is replayed; a torn tail from a crash is truncated.
 func Open(path string, opts wal.Options) (*Store, error) {
 	s := &Store{tables: make(map[string]*table)}
+	s.Instrument(nil)
 	l, err := wal.Open(path, opts, func(payload []byte) error {
 		var op walOp
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
@@ -113,7 +159,10 @@ func (s *Store) logOp(op walOp) error {
 	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
 		return fmt.Errorf("relstore: encode wal record: %w", err)
 	}
-	return s.log.Append(buf.Bytes())
+	start := time.Now()
+	err := s.log.Append(buf.Bytes())
+	s.walSeconds.ObserveSince(start)
+	return err
 }
 
 // apply performs op against in-memory state. Callers hold the write lock
@@ -203,6 +252,7 @@ func (s *Store) applyCreateTable(schema Schema) error {
 // Insert adds a new row. Gallery data is immutable, so inserting an existing
 // primary key fails with ErrDuplicate rather than overwriting.
 func (s *Store) Insert(tableName string, row Row) error {
+	s.countOp("insert", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyInsert(tableName, row); err != nil {
@@ -231,6 +281,7 @@ func (s *Store) applyInsert(tableName string, row Row) error {
 // with ErrNotFound for absent rows; Gallery uses updates only for mutable
 // operational state such as deprecation flags and dependency pointers.
 func (s *Store) Update(tableName string, row Row) error {
+	s.countOp("update", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyUpdate(tableName, row); err != nil {
@@ -260,6 +311,7 @@ func (s *Store) applyUpdate(tableName string, row Row) error {
 // Delete removes a row by primary key. Deleting an absent row fails with
 // ErrNotFound.
 func (s *Store) Delete(tableName, pk string) error {
+	s.countOp("delete", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyDelete(tableName, pk); err != nil {
@@ -326,6 +378,16 @@ const (
 // model-instance version together with the dependency-graph rows it bumps
 // (paper Figures 6–7).
 func (s *Store) Batch(muts []Mutation) error {
+	for _, m := range muts {
+		switch m.Kind {
+		case MutInsert:
+			s.countOp("insert", m.Table)
+		case MutUpdate:
+			s.countOp("update", m.Table)
+		case MutDelete:
+			s.countOp("delete", m.Table)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Validate every mutation against current state plus the batch's own
@@ -404,6 +466,7 @@ func (s *Store) validateBatch(muts []Mutation) error {
 
 // Get fetches a row copy by primary key.
 func (s *Store) Get(tableName, pk string) (Row, error) {
+	s.countOp("get", tableName)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]

@@ -9,6 +9,7 @@ import (
 	"gallery/internal/clock"
 	"gallery/internal/core"
 	"gallery/internal/expr"
+	"gallery/internal/obs"
 	"gallery/internal/uuid"
 )
 
@@ -64,10 +65,46 @@ type Engine struct {
 	actions map[string]Action
 	alerts  []Alert
 	stats   Stats
+	mx      engineMetrics
 
 	jobs    chan job
 	pending sync.WaitGroup
 	started bool
+}
+
+// engineMetrics mirrors Stats into an obs registry so the rule engine
+// shows up in /v1/debug/metrics alongside the storage layer.
+type engineMetrics struct {
+	evaluations  *obs.Counter
+	matches      *obs.Counter
+	actionsRun   *obs.Counter
+	actionErrors *obs.Counter
+	events       *obs.Counter
+	selections   *obs.Counter
+	alerts       *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return engineMetrics{
+		evaluations:  reg.Counter("rules_evaluations_total"),
+		matches:      reg.Counter("rules_matches_total"),
+		actionsRun:   reg.Counter("rules_actions_run_total"),
+		actionErrors: reg.Counter("rules_action_errors_total"),
+		events:       reg.Counter("rules_events_triggered_total"),
+		selections:   reg.Counter("rules_selection_requests_total"),
+		alerts:       reg.Counter("rules_alerts_total"),
+	}
+}
+
+// Instrument redirects the engine's metrics to reg (default obs.Default).
+// Call before serving traffic.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mx = newEngineMetrics(reg)
 }
 
 type job struct {
@@ -88,6 +125,7 @@ func NewEngine(reg *core.Registry, repo *Repo, clk clock.Clock) *Engine {
 		clk:         clk,
 		Environment: "production",
 		actions:     make(map[string]Action),
+		mx:          newEngineMetrics(nil),
 	}
 	record := func(name string) Action {
 		return func(ctx *ActionContext) error {
@@ -172,6 +210,7 @@ func (e *Engine) MetricUpdated(instanceID uuid.UUID) {
 	e.mu.Lock()
 	e.stats.EventsTriggered++
 	e.mu.Unlock()
+	e.mx.events.Inc()
 	for _, rule := range e.repo.Active() {
 		if rule.Kind != KindAction || !e.inScope(rule) {
 			continue
@@ -189,6 +228,7 @@ func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {
 	e.mu.Lock()
 	e.stats.EventsTriggered++
 	e.mu.Unlock()
+	e.mx.events.Inc()
 	for _, rule := range e.repo.Active() {
 		if rule.Kind != KindAction || !e.inScope(rule) {
 			continue
@@ -251,6 +291,10 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 		e.stats.Matches++
 	}
 	e.mu.Unlock()
+	e.mx.evaluations.Inc()
+	if ok {
+		e.mx.matches.Inc()
+	}
 	if evalErr != nil {
 		var ee *expr.EvalError
 		if !errors.As(evalErr, &ee) {
@@ -278,6 +322,7 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 			e.mu.Lock()
 			e.stats.ActionErrors++
 			e.mu.Unlock()
+			e.mx.actionErrors.Inc()
 			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 				Action: ref.Action, Message: "unknown action"})
 			continue
@@ -289,6 +334,10 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 			e.stats.ActionErrors++
 		}
 		e.mu.Unlock()
+		e.mx.actionsRun.Inc()
+		if err != nil {
+			e.mx.actionErrors.Inc()
+		}
 		if err != nil {
 			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 				Action: ref.Action, Message: "action failed: " + err.Error()})
@@ -338,6 +387,7 @@ func (e *Engine) SelectModel(ruleID string, filter core.InstanceFilter) (*core.I
 	e.mu.Lock()
 	e.stats.SelectionRequests++
 	e.mu.Unlock()
+	e.mx.selections.Inc()
 
 	candidates, err := e.reg.SearchInstances(filter)
 	if err != nil {
@@ -362,6 +412,10 @@ func (e *Engine) SelectModel(ruleID string, filter core.InstanceFilter) (*core.I
 			e.stats.Matches++
 		}
 		e.mu.Unlock()
+		e.mx.evaluations.Inc()
+		if ok {
+			e.mx.matches.Inc()
+		}
 		if evalErr != nil || !ok {
 			continue
 		}
@@ -448,6 +502,7 @@ func (e *Engine) recordAlert(a Alert) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.alerts = append(e.alerts, a)
+	e.mx.alerts.Inc()
 }
 
 // Stats returns a snapshot of activity counters.

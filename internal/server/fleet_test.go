@@ -54,6 +54,7 @@ func TestAlertsEndpoint(t *testing.T) {
 	if _, err := h.c.InsertMetric(in.ID, "bias", "production", 0.9); err != nil {
 		t.Fatal(err)
 	}
+	h.flush()
 	alerts, err := h.c.Alerts()
 	if err != nil {
 		t.Fatal(err)

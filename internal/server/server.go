@@ -10,14 +10,37 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"gallery/internal/api"
 	"gallery/internal/core"
+	"gallery/internal/obs"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/uuid"
 )
+
+// DefaultMaxBodyBytes bounds JSON request bodies; large model blobs ride
+// inside upload requests, so the ceiling is generous.
+const DefaultMaxBodyBytes = 256 << 20
+
+// Options tunes a Server.
+type Options struct {
+	// Obs receives HTTP and dispatch metrics; nil uses obs.Default.
+	Obs *obs.Registry
+	// AccessLog, when non-nil, receives one structured (JSON) log line
+	// per request.
+	AccessLog io.Writer
+	// MaxBodyBytes bounds JSON request bodies (default DefaultMaxBodyBytes).
+	// Oversized bodies are rejected with 413.
+	MaxBodyBytes int64
+	// EventQueue bounds the rule-engine dispatch queue (default 1024).
+	// Metric events beyond the bound are dropped and counted.
+	EventQueue int
+}
 
 // Server wires HTTP routes to the registry and rule engine.
 type Server struct {
@@ -25,18 +48,127 @@ type Server struct {
 	repo   *rules.Repo
 	engine *rules.Engine
 	mux    *http.ServeMux
+
+	obs        *obs.Registry
+	accessLog  *slog.Logger
+	maxBody    int64
+	allLatency *obs.Histogram // route-less latency; headline p50/p95 for /v1/stats
+
+	cDispatched    *obs.Counter
+	cDropped       *obs.Counter
+	cBlobWriteErrs *obs.Counter
+
+	// Rule-engine dispatch queue: metric-update events leave the request
+	// path here and are replayed into the engine by a single goroutine,
+	// keeping the engine's own serialization.
+	events    chan uuid.UUID
+	eventWG   sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// New builds a Server. The engine may be nil for storage-only deployments
-// (feature tiers 1–3 of paper §6.3); rule endpoints then return 404.
+// New builds a Server with default Options. The engine may be nil for
+// storage-only deployments (feature tiers 1–3 of paper §6.3); rule
+// endpoints then return 404.
 func New(reg *core.Registry, repo *rules.Repo, engine *rules.Engine) *Server {
-	s := &Server{reg: reg, repo: repo, engine: engine, mux: http.NewServeMux()}
+	return NewWith(reg, repo, engine, Options{})
+}
+
+// NewWith builds a Server with explicit Options.
+func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Options) *Server {
+	if opts.Obs == nil {
+		opts.Obs = obs.Default
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.EventQueue <= 0 {
+		opts.EventQueue = 1024
+	}
+	s := &Server{
+		reg:    reg,
+		repo:   repo,
+		engine: engine,
+		mux:    http.NewServeMux(),
+
+		obs:            opts.Obs,
+		maxBody:        opts.MaxBodyBytes,
+		allLatency:     opts.Obs.Histogram("http_request_seconds_all", obs.LatencyBuckets),
+		cDispatched:    opts.Obs.Counter("server_engine_dispatch_total"),
+		cDropped:       opts.Obs.Counter("server_engine_dispatch_dropped_total"),
+		cBlobWriteErrs: opts.Obs.Counter("server_blob_write_errors_total"),
+
+		events: make(chan uuid.UUID, opts.EventQueue),
+		done:   make(chan struct{}),
+	}
+	if opts.AccessLog != nil {
+		s.accessLog = slog.New(slog.NewJSONHandler(opts.AccessLog, nil))
+	}
 	s.routes()
+	go s.eventLoop()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// notifyMetricUpdated hands a metric-update event to the dispatch queue
+// without blocking the request path. When the queue is full the event is
+// dropped (and counted): rule re-evaluation is best-effort and a later
+// metric write re-triggers it.
+func (s *Server) notifyMetricUpdated(id uuid.UUID) {
+	if s.engine == nil {
+		return
+	}
+	select {
+	case <-s.done:
+		s.cDropped.Inc()
+		return
+	default:
+	}
+	s.eventWG.Add(1)
+	select {
+	case s.events <- id:
+		s.cDispatched.Inc()
+	default:
+		s.eventWG.Done()
+		s.cDropped.Inc()
+	}
+}
+
+// eventLoop replays queued metric events into the rule engine, one at a
+// time. The engine applies its own worker-pool parallelism when started.
+func (s *Server) eventLoop() {
+	for {
+		select {
+		case id := <-s.events:
+			s.engine.MetricUpdated(id)
+			s.eventWG.Done()
+		case <-s.done:
+			for {
+				select {
+				case id := <-s.events:
+					s.engine.MetricUpdated(id)
+					s.eventWG.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Flush blocks until every queued metric event has been handed to the
+// engine and the engine's own queue has drained. Tests use it to observe
+// the effects of asynchronous dispatch deterministically.
+func (s *Server) Flush() {
+	s.eventWG.Wait()
+	if s.engine != nil {
+		s.engine.Flush()
+	}
+}
+
+// Close stops the dispatch goroutine after draining queued events.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
 
 func (s *Server) routes() {
 	m := s.mux
@@ -70,6 +202,7 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /v1/search", s.handleSearch)
 	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
 	m.HandleFunc("GET /v1/stats", s.handleStats)
+	m.HandleFunc("GET /v1/debug/metrics", s.handleDebugMetrics)
 
 	m.HandleFunc("POST /v1/rules", s.handleCommitRules)
 	m.HandleFunc("GET /v1/rules", s.handleListRules)
@@ -87,7 +220,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var maxBytes *http.MaxBytesError
 	switch {
+	case errors.As(err, &maxBytes):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule):
@@ -98,8 +234,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, api.Error{Error: err.Error()})
 }
 
-func decode(r *http.Request, v any) error {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 256<<20))
+// decode reads a bounded JSON body. The ResponseWriter is handed to
+// MaxBytesReader so the connection is closed properly on overflow, and
+// the resulting *http.MaxBytesError surfaces as 413 via writeErr.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		return fmt.Errorf("read body: %w", err)
 	}
@@ -121,7 +260,7 @@ func pathUUID(r *http.Request, name string) (uuid.UUID, error) {
 
 func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 	var req api.RegisterModelRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -186,7 +325,7 @@ func (s *Server) handleEvolveModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.EvolveModelRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -297,7 +436,7 @@ func (s *Server) handleDeps(w http.ResponseWriter, r *http.Request, up bool) {
 }
 
 func (s *Server) handleAddDep(w http.ResponseWriter, r *http.Request) {
-	from, to, err := depPair(r)
+	from, to, err := s.depPair(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -310,7 +449,7 @@ func (s *Server) handleAddDep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveDep(w http.ResponseWriter, r *http.Request) {
-	from, to, err := depPair(r)
+	from, to, err := s.depPair(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -322,9 +461,9 @@ func (s *Server) handleRemoveDep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func depPair(r *http.Request) (from, to uuid.UUID, err error) {
+func (s *Server) depPair(w http.ResponseWriter, r *http.Request) (from, to uuid.UUID, err error) {
 	var req api.DependencyRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		return uuid.Nil, uuid.Nil, err
 	}
 	from, err = uuid.Parse(req.From)
@@ -342,7 +481,7 @@ func depPair(r *http.Request) (from, to uuid.UUID, err error) {
 
 func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
 	var req api.UploadInstanceRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -396,8 +535,16 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		// The response is committed; all we can do is record that the
+		// client went away mid-transfer.
+		s.cBlobWriteErrs.Inc()
+		if s.accessLog != nil {
+			s.accessLog.Error("blob write failed", "instance", id.String(), "err", err.Error())
+		}
+	}
 }
 
 func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request) {
@@ -420,7 +567,7 @@ func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.InsertMetricRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -429,10 +576,9 @@ func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	// Metric updates are rule-engine events (paper Fig. 8, Client 2).
-	if s.engine != nil {
-		s.engine.MetricUpdated(id)
-	}
+	// Metric updates are rule-engine events (paper Fig. 8, Client 2),
+	// dispatched off the request path.
+	s.notifyMetricUpdated(id)
 	writeJSON(w, http.StatusCreated, metricDTO(m))
 }
 
@@ -443,7 +589,7 @@ func (s *Server) handleInsertMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.InsertMetricsRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -451,9 +597,7 @@ func (s *Server) handleInsertMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if s.engine != nil {
-		s.engine.MetricUpdated(id)
-	}
+	s.notifyMetricUpdated(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -483,7 +627,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.DriftRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -512,7 +656,7 @@ func (s *Server) handleSkew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.SkewRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -542,8 +686,14 @@ func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	scope := core.Scope(r.URL.Query().Get("scope"))
-	blob, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	limit := min(int64(16<<20), s.maxBody)
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			writeErr(w, err) // 413
+			return
+		}
 		writeErr(w, fmt.Errorf("%w: read metrics blob: %v", core.ErrBadSpec, err))
 		return
 	}
@@ -551,15 +701,13 @@ func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	if s.engine != nil {
-		s.engine.MetricUpdated(id)
-	}
+	s.notifyMetricUpdated(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
 	var req api.FleetHealthRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -608,7 +756,7 @@ func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req api.SearchRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -637,7 +785,32 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	models, instances, metrics := s.reg.Counts()
-	writeJSON(w, http.StatusOK, api.Stats{Models: models, Instances: instances, Metrics: metrics})
+	st := api.Stats{Models: models, Instances: instances, Metrics: metrics}
+
+	// Headline observability numbers; the full breakdown lives at
+	// /v1/debug/metrics.
+	st.Requests = s.obs.SumCounters("http_requests_total")
+	st.P50LatencyMS = s.allLatency.Quantile(0.50) * 1000
+	st.P95LatencyMS = s.allLatency.Quantile(0.95) * 1000
+	cs := s.reg.DAL().CacheStats()
+	if total := cs.Hits + cs.Misses; total > 0 {
+		st.CacheHitRatio = float64(cs.Hits) / float64(total)
+	}
+	bs := s.reg.DAL().Blobs().Stats()
+	st.BlobPuts, st.BlobGets = bs.Puts, bs.Gets
+	if s.engine != nil {
+		st.RuleEvaluations = s.engine.Stats().Evaluations
+	}
+	st.EngineDispatches = s.cDispatched.Value()
+	st.EngineDrops = s.cDropped.Value()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDebugMetrics renders the full metrics registry: per-route request
+// counters and latency histograms, DAL/relstore/blobstore counters, rule
+// engine activity, and dispatch-queue health.
+func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.obs.Snapshot())
 }
 
 // --- rules ---
@@ -648,7 +821,7 @@ func (s *Server) handleCommitRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.CommitRulesRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -684,7 +857,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	ruleID := r.PathValue("id")
 	var req api.SelectModelRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}

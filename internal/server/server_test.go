@@ -12,6 +12,7 @@ import (
 	"gallery/internal/client"
 	"gallery/internal/clock"
 	"gallery/internal/core"
+	"gallery/internal/obs"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/uuid"
@@ -24,6 +25,15 @@ type harness struct {
 	clk *clock.Mock
 	ts  *httptest.Server
 	eng *rules.Engine
+	srv *Server
+}
+
+// flush waits until every engine notification enqueued so far has been
+// evaluated, making the async dispatch path deterministic in tests.
+func (h *harness) flush() {
+	if h.srv != nil {
+		h.srv.Flush()
+	}
 }
 
 func newHarness(t *testing.T) *harness {
@@ -38,10 +48,11 @@ func newHarness(t *testing.T) *harness {
 	}
 	repo := rules.NewRepo(clk)
 	eng := rules.NewEngine(reg, repo, clk)
-	srv := New(reg, repo, eng)
+	srv := NewWith(reg, repo, eng, Options{Obs: obs.NewRegistry()})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return &harness{c: client.New(ts.URL, ts.Client()), clk: clk, ts: ts, eng: eng}
+	t.Cleanup(srv.Close)
+	return &harness{c: client.New(ts.URL, ts.Client()), clk: clk, ts: ts, eng: eng, srv: srv}
 }
 
 // newStorageOnlyHarness serves a registry without the rule engine —
@@ -55,9 +66,11 @@ func newStorageOnlyHarness(t *testing.T) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, nil, nil))
+	srv := NewWith(reg, nil, nil, Options{Obs: obs.NewRegistry()})
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return &harness{c: client.New(ts.URL, ts.Client()), clk: clk, ts: ts}
+	t.Cleanup(srv.Close)
+	return &harness{c: client.New(ts.URL, ts.Client()), clk: clk, ts: ts, srv: srv}
 }
 
 func (h *harness) registerModel(t *testing.T, name, domain string) api.Model {
@@ -408,6 +421,9 @@ func TestMetricUpdateTriggersActionRule(t *testing.T) {
 	if _, err := h.c.InsertMetric(in.ID, "bias", "validation", 0.02); err != nil {
 		t.Fatal(err)
 	}
+	// Metric notifications are dispatched off the request path; wait for
+	// the queue to drain before asserting the action fired.
+	h.flush()
 	select {
 	case id := <-deployed:
 		if id != in.ID {
