@@ -9,7 +9,7 @@
 //
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
-// tiered.
+// serving, tiered.
 package main
 
 import (
@@ -146,6 +146,13 @@ func main() {
 		}},
 		{"reposition", "E17 (extension) / §4.2 — forecast-driven driver repositioning", func() (string, error) {
 			res, err := experiments.DriverRepositioning(3)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"serving", "E18 (extension) / §2 — prediction serving gateway, micro-batching ablation", func() (string, error) {
+			res, err := experiments.ServingGateway(8, 5000)
 			if err != nil {
 				return "", err
 			}

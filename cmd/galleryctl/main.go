@@ -26,6 +26,8 @@
 //	drift     -instance UUID -metric N
 //	health    -project P [-metric N]
 //	stats
+//	metrics
+//	predict   -model UUID -history "10,12,11,13" [-gateway URL]
 package main
 
 import (
@@ -33,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"gallery/internal/api"
 	"gallery/internal/client"
@@ -83,6 +87,10 @@ func main() {
 		err = cmdHealth(c, rest)
 	case "stats":
 		err = dump(c.Stats())
+	case "metrics":
+		err = cmdMetrics(c)
+	case "predict":
+		err = cmdPredict(c, *serverFlag, rest)
 	default:
 		fail("galleryctl: unknown subcommand %q", cmd)
 	}
@@ -291,6 +299,51 @@ func cmdHealth(c *client.Client, args []string) error {
 	return dump(c.CheckFleetHealth(api.FleetHealthRequest{
 		Project: *project, Metric: *metric, Limit: *limit,
 	}))
+}
+
+// cmdMetrics dumps the server's full metric registry snapshot — the same
+// JSON served at /v1/debug/metrics, for when the stats summary is not
+// enough.
+func cmdMetrics(c *client.Client) error {
+	raw, err := c.DebugMetrics()
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		fmt.Println(string(raw)) // not JSON? print as-is
+		return nil
+	}
+	return dump(v, nil)
+}
+
+// cmdPredict asks a serving gateway for a forecast. By default it targets
+// the -server URL (useful when galleryctl points straight at a gateway);
+// -gateway overrides, so one invocation can talk metadata to galleryd and
+// predictions to galleryserve.
+func cmdPredict(c *client.Client, serverURL string, args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "", "model UUID (required)")
+	history := fs.String("history", "", "comma-separated recent observations (required)")
+	event := fs.Bool("event", false, "the step being predicted falls in an event window")
+	gateway := fs.String("gateway", "", "serving gateway URL (default: the -server URL)")
+	fs.Parse(args)
+	if *model == "" || *history == "" {
+		return fmt.Errorf("predict needs -model and -history")
+	}
+	var hist []float64
+	for _, s := range strings.Split(*history, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad history value %q: %w", s, err)
+		}
+		hist = append(hist, f)
+	}
+	gc := c
+	if *gateway != "" && *gateway != serverURL {
+		gc = client.New(*gateway, nil)
+	}
+	return dump(gc.Predict(*model, api.PredictRequest{History: hist, Event: *event}))
 }
 
 func cmdDrift(c *client.Client, args []string) error {

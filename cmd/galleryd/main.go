@@ -85,6 +85,10 @@ func main() {
 	}
 	repo := rules.NewRepo(nil)
 	engine := rules.NewEngine(reg, repo, nil)
+	// "deploy" closes the loop with the serving tier: a rule firing it
+	// promotes the triggering instance, and every watching gateway hot-swaps
+	// to it on its next refresh.
+	engine.RegisterAction("deploy", rules.DeployAction(reg))
 	engine.Start(*workers)
 	defer engine.Stop()
 

@@ -1,0 +1,110 @@
+// Command galleryserve runs the Gallery prediction serving gateway: a
+// stateless HTTP tier that pulls promoted model instances out of a
+// galleryd and answers forecast queries with them, hot-swapping on
+// promotion (the paper's §2 realtime prediction service, closed-loop with
+// the §4.2 rule engine).
+//
+// Usage:
+//
+//	galleryserve -addr :8441 -gallery http://localhost:8440
+//	galleryserve -addr :8441 -gallery http://localhost:8440 -batch 32
+//
+// Predictions:
+//
+//	curl -s localhost:8441/v1/predict/<model-id> \
+//	    -d '{"history":[10,12,11,13,12,14]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gallery/internal/client"
+	"gallery/internal/forecast"
+	"gallery/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8441", "listen address")
+		gallery   = flag.String("gallery", "http://localhost:8440", "galleryd base URL")
+		refresh   = flag.Duration("refresh", 5*time.Second, "production-pointer poll interval")
+		maxModels = flag.Int("max-models", 64, "LRU bound on concurrently loaded models")
+		batch     = flag.Int("batch", 0, "micro-batch size (0 disables batching)")
+		batchWait = flag.Duration("batch-wait", 0, "max linger for a partially filled batch (0 = adaptive drain-only)")
+		preload   = flag.String("preload", "", "comma-separated model IDs to load at startup")
+		retries   = flag.Int("retries", 3, "gallery client retry budget per request")
+		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
+	)
+	flag.Parse()
+
+	cl := client.NewWith(*gallery, client.Options{Retries: *retries})
+	gw := serve.New(cl, serve.Options{
+		MaxModels:       *maxModels,
+		RefreshInterval: *refresh,
+		MaxBatch:        *batch,
+		BatchWait:       *batchWait,
+	})
+	defer gw.Close()
+
+	for _, id := range strings.Split(*preload, ",") {
+		if id = strings.TrimSpace(id); id == "" {
+			continue
+		}
+		if _, err := gw.Predict(id, warmupContext()); err != nil {
+			log.Printf("galleryserve: preload %s: %v", id, err)
+		}
+	}
+
+	var opts []serve.HandlerOption
+	if *accessLog {
+		opts = append(opts, serve.WithAccessLog(jsonLogger()))
+	}
+	h := serve.NewHandler(gw, opts...)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("galleryserve: serving on %s (gallery=%s refresh=%v batch=%d)\n",
+		*addr, *gallery, *refresh, *batch)
+
+	waitForShutdown(httpSrv, errCh)
+}
+
+// warmupContext is a throwaway query used only to force a preload; the
+// answer is discarded.
+func warmupContext() forecast.Context {
+	return forecast.Context{History: []float64{1, 1, 1, 1}}
+}
+
+func jsonLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+}
+
+func waitForShutdown(httpSrv *http.Server, errCh chan error) {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("galleryserve: %v", err)
+		}
+	case sig := <-sigCh:
+		log.Printf("galleryserve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("galleryserve: shutdown: %v", err)
+		}
+		cancel()
+	}
+}

@@ -241,6 +241,48 @@ type Error struct {
 	Error string `json:"error"`
 }
 
+// PredictRequest asks a serving gateway for a one-step-ahead forecast from
+// a model's current production instance. The fields mirror
+// forecast.Context.
+type PredictRequest struct {
+	History []float64 `json:"history"`
+	Time    time.Time `json:"time,omitempty"`
+	Event   bool      `json:"event,omitempty"`
+	// PrevEvent is the event flag of the last history point.
+	PrevEvent bool `json:"prev_event,omitempty"`
+	// HistoryEvents, when present, carries per-point event flags (same
+	// length as History).
+	HistoryEvents []bool `json:"history_events,omitempty"`
+}
+
+// PredictResponse is a gateway's answer: the forecast plus the identity of
+// the instance that produced it, so callers can audit exactly which
+// promoted artifact served them.
+type PredictResponse struct {
+	ModelID    string  `json:"model_id"`
+	InstanceID string  `json:"instance_id"`
+	VersionID  string  `json:"version_id"`
+	Version    string  `json:"version"` // "major.minor"
+	Learner    string  `json:"learner,omitempty"`
+	Value      float64 `json:"value"`
+	// Stale reports that the gateway could not confirm this instance is
+	// still the production version (galleryd unreachable); the answer
+	// comes from the last-known-good model.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ServingModel is one loaded model in a gateway's GET /v1/serving status.
+type ServingModel struct {
+	ModelID    string    `json:"model_id"`
+	InstanceID string    `json:"instance_id"`
+	VersionID  string    `json:"version_id"`
+	Version    string    `json:"version"`
+	Learner    string    `json:"learner,omitempty"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	Swaps      int64     `json:"swaps"`
+	Stale      bool      `json:"stale,omitempty"`
+}
+
 // Stats summarizes a running Gallery service: registry sizes plus the
 // headline observability numbers. The full metric registry (per-route
 // histograms, per-table counters) is served at /v1/debug/metrics.

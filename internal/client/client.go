@@ -6,27 +6,65 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
 	"net/url"
+	"time"
 
 	"gallery/internal/api"
 )
+
+// Options tunes a Client.
+type Options struct {
+	// HTTP is the underlying transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Retries bounds re-attempts after the first try for transient
+	// failures: dial errors (the request never left this process, so any
+	// method is safe to resend), and — for idempotent GETs only — other
+	// connection errors and 5xx responses. 0 disables retry entirely.
+	Retries int
+	// RetryBase is the first backoff delay (default 50ms); each further
+	// attempt doubles it, capped at RetryMax (default 2s). The actual
+	// sleep is jittered uniformly over [delay/2, delay] so a fleet of
+	// clients recovering together does not thunder in lockstep.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Sleep replaces time.Sleep between attempts; tests inject a recorder.
+	Sleep func(time.Duration)
+}
 
 // Client talks to one Gallery service endpoint.
 type Client struct {
 	base string
 	http *http.Client
+	opts Options
 }
 
 // New returns a client for the service at base (e.g.
 // "http://localhost:8440"). httpClient may be nil for the default.
 func New(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	return NewWith(base, Options{HTTP: httpClient})
+}
+
+// NewWith returns a client with explicit Options.
+func NewWith(base string, opts Options) *Client {
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultClient
 	}
-	return &Client{base: base, http: httpClient}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Client{base: base, http: opts.HTTP, opts: opts}
 }
 
 // APIError carries the service's error body and status code.
@@ -39,21 +77,40 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("gallery: %d: %s", e.Status, e.Msg)
 }
 
-// do issues one request; out may be nil for statusless calls.
+// do issues one request with bounded retry; out may be nil for statusless
+// calls.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(method, path, in != nil, payload, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.opts.Retries || !retryable(method, err) {
+			return err
+		}
+		c.opts.Sleep(c.backoff(attempt))
+	}
+}
+
+// once issues exactly one HTTP round trip.
+func (c *Client) once(method, path string, hasBody bool, payload []byte, out any) error {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -82,6 +139,41 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 	}
 	return nil
+}
+
+// retryable decides whether a failed attempt may be resent. Dial errors
+// are safe for every method (no bytes reached the server). Anything else —
+// a connection dropped mid-flight, a 5xx — is only safe when the request
+// is an idempotent GET; a resent POST could double-apply.
+func retryable(method string, err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return method == http.MethodGet && apiErr.Status >= 500
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) && opErr.Op == "dial" {
+		return true
+	}
+	var urlErr *url.Error
+	if errors.As(err, &urlErr) || errors.As(err, &opErr) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return method == http.MethodGet
+	}
+	// Anything else (encode/decode failures, bad requests) is
+	// deterministic; retrying cannot help.
+	return false
+}
+
+// backoff returns the jittered exponential delay before re-attempt n+1.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase
+	for i := 0; i < attempt && d < c.opts.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	half := d / 2
+	return half + rand.N(half+1)
 }
 
 // RegisterModel creates a model.
@@ -141,6 +233,27 @@ func (c *Client) ProductionVersion(id string) (api.VersionRecord, error) {
 // Promote makes a version the production version of its model.
 func (c *Client) Promote(versionID string) error {
 	return c.do("POST", "/v1/versions/"+versionID+"/promote", struct{}{}, nil)
+}
+
+// PromoteInstance promotes the version record an instance realizes — the
+// remote form of the rule engine's deploy callback.
+func (c *Client) PromoteInstance(instanceID string) error {
+	return c.do("POST", "/v1/instances/"+instanceID+"/promote", struct{}{}, nil)
+}
+
+// Predict asks a serving gateway (a galleryserve endpoint, not galleryd)
+// for a forecast from a model's production instance.
+func (c *Client) Predict(modelID string, req api.PredictRequest) (api.PredictResponse, error) {
+	var resp api.PredictResponse
+	err := c.do("POST", "/v1/predict/"+url.PathEscape(modelID), req, &resp)
+	return resp, err
+}
+
+// ServingStatus lists the models a serving gateway currently holds loaded.
+func (c *Client) ServingStatus() ([]api.ServingModel, error) {
+	var out []api.ServingModel
+	err := c.do("GET", "/v1/serving", nil, &out)
+	return out, err
 }
 
 // Upstreams lists direct dependencies of a model.

@@ -307,6 +307,44 @@ func (g *Registry) productionVersionLocked(id uuid.UUID) (*VersionRecord, error)
 func (g *Registry) Promote(versionID uuid.UUID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.promoteLocked(versionID)
+}
+
+// PromoteInstance promotes the version record realized by an instance —
+// what a deployment callback holds is an instance id, so this resolves it
+// to the version the upload minted (the newest one, should a model ever
+// carry several records for one instance) and promotes that.
+func (g *Registry) PromoteInstance(instanceID uuid.UUID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	in, err := g.GetInstance(instanceID)
+	if err != nil {
+		return err
+	}
+	rows, err := g.dal.Meta().Select(relstore.Query{
+		Table: TableVersions,
+		Where: []relstore.Constraint{
+			{Field: "model_id", Op: relstore.OpEq, Value: relstore.String(in.ModelID.String())},
+			{Field: "instance_id", Op: relstore.OpEq, Value: relstore.String(instanceID.String())},
+		},
+		OrderBy: "minor",
+		Desc:    true,
+		Limit:   1,
+	})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: instance %s has no version record", ErrNotFound, instanceID)
+	}
+	v, err := rowToVersion(rows[0])
+	if err != nil {
+		return err
+	}
+	return g.promoteLocked(v.ID)
+}
+
+func (g *Registry) promoteLocked(versionID uuid.UUID) error {
 	row, err := g.dal.Meta().Get(TableVersions, versionID.String())
 	if err != nil {
 		return fmt.Errorf("%w: version %s", ErrNotFound, versionID)

@@ -1,0 +1,50 @@
+package forecast
+
+import "sync"
+
+// BatchForecaster is the optional vectorized prediction interface. A
+// learner that implements it can answer a whole batch of one-step-ahead
+// queries in one call, amortizing per-call setup (feature-buffer
+// allocation, coefficient loads) across the batch — the property the
+// serving gateway's micro-batching exploits. Implementations must not
+// retain the contexts or the out slice.
+type BatchForecaster interface {
+	Model
+	// ForecastBatch writes Forecast(ctxs[i]) into out[i] for every i.
+	// len(out) must equal len(ctxs).
+	ForecastBatch(ctxs []Context, out []float64)
+}
+
+// ForecastAll answers a batch through the fastest path the learner
+// supports: ForecastBatch when implemented, a plain loop otherwise.
+func ForecastAll(m Model, ctxs []Context, out []float64) {
+	if bf, ok := m.(BatchForecaster); ok {
+		bf.ForecastBatch(ctxs, out)
+		return
+	}
+	for i := range ctxs {
+		out[i] = m.Forecast(ctxs[i])
+	}
+}
+
+// arScratch holds the per-batch reusable buffers of LinearAR prediction.
+type arScratch struct {
+	values []float64
+	row    []float64
+}
+
+// arScratchPool recycles scratch across batches (and across batch
+// executors), so even a batch of one avoids the per-call buffers.
+var arScratchPool = sync.Pool{New: func() any { return new(arScratch) }}
+
+// ForecastBatch implements BatchForecaster: the padded value buffer and
+// the feature row come from a pool and are reused for every item, so a
+// batch of B predictions over length-N histories does O(1) allocations
+// (amortized zero) instead of O(B) buffers of N floats each.
+func (m *LinearAR) ForecastBatch(ctxs []Context, out []float64) {
+	sc := arScratchPool.Get().(*arScratch)
+	for i := range ctxs {
+		out[i] = m.forecastScratch(ctxs[i], sc)
+	}
+	arScratchPool.Put(sc)
+}

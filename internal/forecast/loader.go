@@ -1,0 +1,76 @@
+package forecast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Loader deserializes model blobs produced by Encode. It maps the kind
+// string framed into each blob envelope to a factory for the concrete
+// learner type, so new learner kinds can be registered by applications
+// without touching this package — the serving gateway loads whatever kind
+// a production instance happens to contain (model neutrality, §3.3.2,
+// meets serving: the registry stores opaque bytes, the loader is the one
+// place that knows how to wake them up).
+type Loader struct {
+	mu        sync.RWMutex
+	factories map[string]func() Model
+}
+
+// NewLoader returns a loader pre-seeded with every built-in learner kind.
+func NewLoader() *Loader {
+	l := &Loader{factories: make(map[string]func() Model)}
+	l.Register("*forecast.Heuristic", func() Model { return &Heuristic{} })
+	l.Register("*forecast.EWMA", func() Model { return &EWMA{} })
+	l.Register("*forecast.SeasonalNaive", func() Model { return &SeasonalNaive{} })
+	l.Register("*forecast.LinearAR", func() Model { return &LinearAR{} })
+	l.Register("*forecast.GBStumps", func() Model { return &GBStumps{} })
+	return l
+}
+
+// DefaultLoader is the process-wide loader; Decode uses it. Applications
+// with custom learners register them here (or build their own Loader).
+var DefaultLoader = NewLoader()
+
+// Register installs (or replaces) a factory for a kind string — the value
+// Encode frames into the envelope, fmt.Sprintf("%T", m) for the built-ins.
+func (l *Loader) Register(kind string, factory func() Model) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.factories[kind] = factory
+}
+
+// Kinds lists the registered kind strings, sorted.
+func (l *Loader) Kinds() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.factories))
+	for k := range l.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load deserializes a model blob produced by Encode into the registered
+// concrete type.
+func (l *Loader) Load(blob []byte) (Model, error) {
+	var env blobEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("forecast: decode envelope: %w", err)
+	}
+	l.mu.RLock()
+	factory, ok := l.factories[env.Kind]
+	l.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("forecast: unknown model kind %q", env.Kind)
+	}
+	m := factory()
+	if err := gob.NewDecoder(bytes.NewReader(env.Data)).Decode(m); err != nil {
+		return nil, fmt.Errorf("forecast: decode %s: %w", env.Kind, err)
+	}
+	return m, nil
+}

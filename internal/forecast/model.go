@@ -197,10 +197,15 @@ func (m *LinearAR) horizon() int {
 // span is the oldest lag offset the feature row reaches back to.
 func (m *LinearAR) span() int { return m.horizon() + m.Lags - 1 }
 
-// features builds the regression row for predicting index i of values.
-// refEvent is the event flag of the reference observation values[i-h].
-func (m *LinearAR) features(values []float64, t time.Time, event, refEvent bool, i int) []float64 {
-	row := make([]float64, 0, m.Lags+8)
+// features builds the regression row for predicting index i of values,
+// appending into dst (pass nil for a fresh row; batch prediction passes a
+// reused scratch buffer). refEvent is the event flag of the reference
+// observation values[i-h].
+func (m *LinearAR) features(dst []float64, values []float64, t time.Time, event, refEvent bool, i int) []float64 {
+	row := dst[:0]
+	if cap(row) < m.Lags+8 {
+		row = make([]float64, 0, m.Lags+8)
+	}
 	row = append(row, 1)
 	h := m.horizon()
 	for l := 0; l < m.Lags; l++ {
@@ -247,7 +252,7 @@ func (m *LinearAR) Train(data Series) error {
 	var rows [][]float64
 	var ys []float64
 	for i := m.span(); i < n; i++ {
-		rows = append(rows, m.features(values, data[i].T, data[i].Event, data[i-m.horizon()].Event, i))
+		rows = append(rows, m.features(nil, values, data[i].T, data[i].Event, data[i-m.horizon()].Event, i))
 		ys = append(ys, values[i])
 	}
 	theta, err := solveLeastSquares(rows, ys, 1e-6)
@@ -261,6 +266,12 @@ func (m *LinearAR) Train(data Series) error {
 // Forecast applies the learned coefficients to the current context. The
 // prediction target sits Horizon steps past the end of History.
 func (m *LinearAR) Forecast(ctx Context) float64 {
+	return m.forecastScratch(ctx, nil)
+}
+
+// forecastScratch is Forecast with caller-owned scratch buffers; batch
+// prediction reuses them across items (see batch.go).
+func (m *LinearAR) forecastScratch(ctx Context, sc *arScratch) float64 {
 	if len(m.Theta) == 0 || len(ctx.History) < m.span() {
 		// Degenerate fallback: last value (random-walk forecast).
 		if len(ctx.History) == 0 {
@@ -272,10 +283,25 @@ func (m *LinearAR) Forecast(ctx Context) float64 {
 	// the predicted element sits Horizon steps past the last observation;
 	// the reference observation is then exactly History's tail.
 	h := m.horizon()
-	values := append(append([]float64(nil), ctx.History...), make([]float64, h)...)
+	var values, rowBuf []float64
+	if sc != nil {
+		values, rowBuf = sc.values[:0], sc.row
+	}
+	if cap(values) < len(ctx.History)+h {
+		// Size for history plus padding in one shot; appending history
+		// first and padding after would grow (and copy) twice.
+		values = make([]float64, 0, len(ctx.History)+h)
+	}
+	values = append(values, ctx.History...)
+	for k := 0; k < h; k++ {
+		values = append(values, 0)
+	}
 	i := len(values) - 1
 	refEvent := ctx.eventAt(len(ctx.History) - 1)
-	row := m.features(values, ctx.Time, ctx.Event, refEvent, i)
+	row := m.features(rowBuf, values, ctx.Time, ctx.Event, refEvent, i)
+	if sc != nil {
+		sc.values, sc.row = values, row
+	}
 	var v float64
 	for j, x := range row {
 		v += m.Theta[j] * x
@@ -381,29 +407,8 @@ func Encode(m Model) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// Decode deserializes a model blob produced by Encode.
+// Decode deserializes a model blob produced by Encode, resolving the
+// concrete type through DefaultLoader (see loader.go).
 func Decode(blob []byte) (Model, error) {
-	var env blobEnvelope
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("forecast: decode envelope: %w", err)
-	}
-	var m Model
-	switch env.Kind {
-	case "*forecast.Heuristic":
-		m = &Heuristic{}
-	case "*forecast.EWMA":
-		m = &EWMA{}
-	case "*forecast.SeasonalNaive":
-		m = &SeasonalNaive{}
-	case "*forecast.LinearAR":
-		m = &LinearAR{}
-	case "*forecast.GBStumps":
-		m = &GBStumps{}
-	default:
-		return nil, fmt.Errorf("forecast: unknown model kind %q", env.Kind)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(env.Data)).Decode(m); err != nil {
-		return nil, fmt.Errorf("forecast: decode %s: %w", env.Kind, err)
-	}
-	return m, nil
+	return DefaultLoader.Load(blob)
 }

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"gallery/internal/forecast"
+)
+
+// batcher groups concurrent predictions on one model into vectorized
+// passes. Each executor pulls one queued request, drains whatever else is
+// already waiting (up to MaxBatch, lingering BatchWait at most), loads the
+// served-model pointer once, and answers the whole group with a single
+// forecast.ForecastAll call — amortizing the pointer load and, for
+// learners implementing forecast.BatchForecaster, the per-call feature
+// buffers. With BatchWait = 0 batching is adaptive: under light load
+// batches have size 1 and add no latency, under heavy load the queue is
+// never empty and batches form by themselves (the same dynamics as WAL
+// group commit).
+type batcher struct {
+	e    *entry
+	g    *Gateway
+	reqs chan *batchReq
+	quit chan struct{} // closed on evict; gateway done covers Close
+}
+
+type batchReq struct {
+	fctx forecast.Context
+	// val and srv are written by the executor before done is signaled.
+	val float64
+	srv *served
+	// done carries one completion signal per use (buffered, so the
+	// executor never blocks), which lets requests be pooled — a closed
+	// channel could not be reused.
+	done chan struct{}
+}
+
+// reqPool recycles requests (and their completion channels) so the batched
+// path does zero allocations per prediction. A request abandoned on
+// shutdown is NOT returned to the pool: an executor may still write it.
+var reqPool = sync.Pool{
+	New: func() any { return &batchReq{done: make(chan struct{}, 1)} },
+}
+
+func (r *batchReq) release() {
+	r.fctx = forecast.Context{} // drop caller buffers so they can be GC'd
+	r.srv = nil
+	reqPool.Put(r)
+}
+
+// stop ends the executors (used on eviction); in-flight and late requests
+// fall back to direct computation in predict.
+func (b *batcher) stop() { close(b.quit) }
+
+func newBatcher(e *entry, g *Gateway) *batcher {
+	b := &batcher{
+		e:    e,
+		g:    g,
+		reqs: make(chan *batchReq, g.opts.MaxBatch*g.opts.BatchWorkers),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < g.opts.BatchWorkers; i++ {
+		go b.run()
+	}
+	return b
+}
+
+// predict enqueues one request and waits for its batch to execute. If the
+// batcher is shutting down (eviction or gateway close) it falls back to a
+// direct computation, so no request is ever dropped.
+func (b *batcher) predict(fctx forecast.Context) (float64, *served, error) {
+	r := reqPool.Get().(*batchReq)
+	r.fctx = fctx
+	select {
+	case b.reqs <- r:
+	default:
+		// Queue full — compute directly rather than block; backpressure
+		// degrades to unbatched, never to unavailable.
+		r.release()
+		return b.direct(fctx)
+	}
+	select {
+	case <-r.done:
+		val, srv := r.val, r.srv
+		r.release()
+		return val, srv, nil
+	case <-b.quit:
+	case <-b.g.done:
+	}
+	// Executors are gone (or going); the request may sit in the queue
+	// forever. Answer it directly.
+	select {
+	case <-r.done: // an executor got to it after all
+		val, srv := r.val, r.srv
+		r.release()
+		return val, srv, nil
+	default:
+		return b.direct(fctx) // r abandoned: the queue still holds it
+	}
+}
+
+func (b *batcher) direct(fctx forecast.Context) (float64, *served, error) {
+	srv := b.e.cur.Load()
+	if srv == nil {
+		return 0, nil, ErrClosed
+	}
+	return srv.learner.Forecast(fctx), srv, nil
+}
+
+// run is one executor goroutine.
+func (b *batcher) run() {
+	maxBatch := b.g.opts.MaxBatch
+	wait := b.g.opts.BatchWait
+	batch := make([]*batchReq, 0, maxBatch)
+	ctxs := make([]forecast.Context, 0, maxBatch)
+	outs := make([]float64, maxBatch)
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.quit:
+			return
+		case <-b.g.done:
+			return
+		}
+		batch = append(batch[:0], first)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+		linger:
+			for len(batch) < maxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					break linger
+				case <-b.quit:
+					break linger
+				case <-b.g.done:
+					break linger
+				}
+			}
+			timer.Stop()
+		} else {
+			for len(batch) < maxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				default:
+					goto exec
+				}
+			}
+		}
+	exec:
+		srv := b.e.cur.Load()
+		ctxs = ctxs[:0]
+		for _, r := range batch {
+			ctxs = append(ctxs, r.fctx)
+		}
+		forecast.ForecastAll(srv.learner, ctxs, outs[:len(batch)])
+		b.g.mx.batchSize.Observe(float64(len(batch)))
+		for i, r := range batch {
+			r.val = outs[i]
+			r.srv = srv
+			r.done <- struct{}{}
+		}
+	}
+}

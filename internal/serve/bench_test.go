@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"gallery/internal/forecast"
+	"gallery/internal/obs"
+)
+
+// benchGateway serves one trained LinearAR with a month-long history
+// window — the regime where per-call buffer reuse matters.
+func benchGateway(b *testing.B, maxBatch int) (*Gateway, string, forecast.Context) {
+	b.Helper()
+	series := forecast.Generate(forecast.CityConfig{
+		Name: "sf", Base: 100, GrowthPerWeek: 3, DailyAmp: 20, WeeklyAmp: 10, NoiseStd: 2, Seed: 7,
+	}, time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC), time.Hour, 24*56)
+	m := &forecast.LinearAR{Lags: 48}
+	if err := m.Train(series); err != nil {
+		b.Fatal(err)
+	}
+	src := newFakeSource()
+	src.promote(b, "m1", 0, m)
+	g := New(src, Options{
+		RefreshInterval: -1,
+		MaxBatch:        maxBatch,
+		BatchWorkers:    1,
+		Obs:             obs.NewRegistry(),
+	})
+	b.Cleanup(g.Close)
+	fctx := forecast.Context{
+		History: series.Values()[len(series)-24*28:],
+		Time:    series[len(series)-1].T.Add(time.Hour),
+	}
+	if _, err := g.Predict("m1", fctx); err != nil {
+		b.Fatal(err)
+	}
+	return g, "m1", fctx
+}
+
+func benchPredict(b *testing.B, maxBatch int) {
+	g, id, fctx := benchGateway(b, maxBatch)
+	b.ReportAllocs()
+	// Several client goroutines per core: batches only form when requests
+	// actually overlap, which is the serving regime being measured.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.Predict(id, fctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServingGateway is the batching on/off ablation under
+// concurrent load (run with -cpu to vary client parallelism).
+func BenchmarkServingGateway(b *testing.B) {
+	b.Run("unbatched", func(b *testing.B) { benchPredict(b, 0) })
+	b.Run("batch=32", func(b *testing.B) { benchPredict(b, 32) })
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"gallery/internal/api"
+	"gallery/internal/client"
+	"gallery/internal/forecast"
+	"gallery/internal/obs"
+)
+
+// Handler is the gateway's HTTP face. Like internal/server it speaks JSON
+// and routes through an observability middleware, but its surface is tiny:
+// predictions, serving status, metrics, health.
+type Handler struct {
+	gw        *Gateway
+	mux       *http.ServeMux
+	obs       *obs.Registry
+	accessLog *slog.Logger
+}
+
+// HandlerOption customizes a Handler.
+type HandlerOption func(*Handler)
+
+// WithAccessLog enables one structured log line per request.
+func WithAccessLog(l *slog.Logger) HandlerOption {
+	return func(h *Handler) { h.accessLog = l }
+}
+
+// NewHandler wraps a Gateway in its HTTP API.
+func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
+	h := &Handler{gw: gw, mux: http.NewServeMux(), obs: gw.obs}
+	for _, o := range opts {
+		o(h)
+	}
+	h.mux.HandleFunc("POST /v1/predict/{model}", h.handlePredict)
+	h.mux.HandleFunc("GET /v1/serving", h.handleServing)
+	h.mux.HandleFunc("GET /v1/debug/metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler with the same per-route metrics the
+// core server emits, so one /v1/debug/metrics scrape covers both tiers.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	h.mux.ServeHTTP(rec, r)
+
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	elapsed := time.Since(start)
+	h.obs.Counter(obs.Name("http_requests_total", "route", route, "status", statusClass(rec.status))).Inc()
+	h.obs.Histogram(obs.Name("http_request_seconds", "route", route), obs.LatencyBuckets).
+		Observe(elapsed.Seconds())
+	if h.accessLog != nil {
+		h.accessLog.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", rec.status,
+			"dur_ms", float64(elapsed.Microseconds())/1000,
+		)
+	}
+}
+
+func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+	modelID := r.PathValue("model")
+	var req api.PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeServeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.History) == 0 {
+		writeServeErr(w, http.StatusBadRequest, errors.New("history must not be empty"))
+		return
+	}
+	if req.HistoryEvents != nil && len(req.HistoryEvents) != len(req.History) {
+		writeServeErr(w, http.StatusBadRequest,
+			fmt.Errorf("history_events length %d does not match history length %d",
+				len(req.HistoryEvents), len(req.History)))
+		return
+	}
+	resp, err := h.gw.Predict(modelID, forecast.Context{
+		History:       req.History,
+		Time:          req.Time,
+		Event:         req.Event,
+		PrevEvent:     req.PrevEvent,
+		HistoryEvents: req.HistoryEvents,
+	})
+	if err != nil {
+		writeServeErr(w, predictStatus(err), err)
+		return
+	}
+	writeServeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleServing(w http.ResponseWriter, r *http.Request) {
+	writeServeJSON(w, http.StatusOK, h.gw.Status())
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeServeJSON(w, http.StatusOK, h.obs.Snapshot())
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeServeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// predictStatus maps a load/predict error onto a status code. Gallery's
+// own verdicts pass through (404 for an unknown model, 400 for a model
+// with no promoted instance reads as 502 below since it is a gateway
+// dependency failure); anything else is the upstream being unreachable.
+func predictStatus(err error) int {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status == http.StatusNotFound {
+			return http.StatusNotFound
+		}
+		return http.StatusBadGateway
+	}
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadGateway
+}
+
+func writeServeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeServeErr(w http.ResponseWriter, status int, err error) {
+	writeServeJSON(w, status, api.Error{Error: err.Error()})
+}
+
+// statusRecorder and statusClass mirror internal/server's middleware; the
+// packages stay independent so the gateway binary does not link the whole
+// registry server.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.status = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}

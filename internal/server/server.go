@@ -190,6 +190,7 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /v1/instances/{id}", s.handleGetInstance)
 	m.HandleFunc("GET /v1/instances/{id}/blob", s.handleGetBlob)
 	m.HandleFunc("POST /v1/instances/{id}/deprecate", s.handleDeprecateInstance)
+	m.HandleFunc("POST /v1/instances/{id}/promote", s.handlePromoteInstance)
 	m.HandleFunc("POST /v1/instances/{id}/metrics", s.handleInsertMetric)
 	m.HandleFunc("POST /v1/instances/{id}/metricset", s.handleInsertMetrics)
 	m.HandleFunc("GET /v1/instances/{id}/metrics", s.handleMetricSeries)
@@ -545,6 +546,22 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 			s.accessLog.Error("blob write failed", "instance", id.String(), "err", err.Error())
 		}
 	}
+}
+
+// handlePromoteInstance promotes the version record an instance realizes —
+// the remote form of the rule engine's deploy callback, used by operators
+// and tests to flip what serving gateways pick up on their next refresh.
+func (s *Server) handlePromoteInstance(w http.ResponseWriter, r *http.Request) {
+	id, err := pathUUID(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.PromoteInstance(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request) {
