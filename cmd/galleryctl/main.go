@@ -27,6 +27,7 @@
 //	health    -project P [-metric N]
 //	stats
 //	metrics
+//	traces    [-limit N | -id TRACE_ID] [-json]
 //	predict   -model UUID -history "10,12,11,13" [-gateway URL]
 package main
 
@@ -89,6 +90,8 @@ func main() {
 		err = dump(c.Stats())
 	case "metrics":
 		err = cmdMetrics(c)
+	case "traces":
+		err = cmdTraces(c, rest)
 	case "predict":
 		err = cmdPredict(c, *serverFlag, rest)
 	default:

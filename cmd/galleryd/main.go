@@ -29,6 +29,7 @@ import (
 	"gallery/internal/blobstore"
 	"gallery/internal/core"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/server"
@@ -45,8 +46,17 @@ func main() {
 		compact   = flag.Int64("compact-mb", 256, "compact the metadata WAL at startup when larger than this many MiB (0 disables)")
 		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
 		dumpStats = flag.Bool("dump-metrics", true, "dump the metric registry snapshot to stderr on shutdown")
+		traceSpec = flag.String("trace-sample", "errslow:250ms", "trace sampler: never | always | errslow:<dur> | <probability 0..1>")
+		traceCap  = flag.Int("trace-buffer", 256, "completed traces kept for /v1/debug/traces")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
 	)
 	flag.Parse()
+
+	sampler, serr := trace.ParseSampler(*traceSpec)
+	if serr != nil {
+		log.Fatalf("galleryd: %v", serr)
+	}
+	tracer := trace.New(trace.Options{Service: "galleryd", Sampler: sampler, Capacity: *traceCap})
 
 	var (
 		meta  *relstore.Store
@@ -92,7 +102,7 @@ func main() {
 	engine.Start(*workers)
 	defer engine.Stop()
 
-	opts := server.Options{}
+	opts := server.Options{Tracer: tracer, Pprof: *pprofOn}
 	if *accessLog {
 		opts.AccessLog = os.Stderr
 	}

@@ -31,6 +31,7 @@ import (
 
 	"gallery/internal/client"
 	"gallery/internal/forecast"
+	"gallery/internal/obs/trace"
 	"gallery/internal/serve"
 )
 
@@ -45,8 +46,26 @@ func main() {
 		preload   = flag.String("preload", "", "comma-separated model IDs to load at startup")
 		retries   = flag.Int("retries", 3, "gallery client retry budget per request")
 		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
+		traceSpec = flag.String("trace-sample", "errslow:250ms", "trace sampler: never | always | errslow:<dur> | <probability 0..1>")
+		traceCap  = flag.Int("trace-buffer", 256, "completed traces kept for /v1/debug/traces")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
 	)
 	flag.Parse()
+
+	sampler, err := trace.ParseSampler(*traceSpec)
+	if err != nil {
+		log.Fatalf("galleryserve: %v", err)
+	}
+	// Kept traces ship to galleryd's trace buffer, so a predict request
+	// reads as ONE trace spanning both processes there.
+	exporter := trace.NewHTTPExporter(*gallery+"/v1/debug/traces", nil)
+	defer exporter.Close()
+	tracer := trace.New(trace.Options{
+		Service:  "galleryserve",
+		Sampler:  sampler,
+		Capacity: *traceCap,
+		Exporter: exporter,
+	})
 
 	cl := client.NewWith(*gallery, client.Options{Retries: *retries})
 	gw := serve.New(cl, serve.Options{
@@ -54,6 +73,7 @@ func main() {
 		RefreshInterval: *refresh,
 		MaxBatch:        *batch,
 		BatchWait:       *batchWait,
+		Tracer:          tracer,
 	})
 	defer gw.Close()
 
@@ -66,9 +86,12 @@ func main() {
 		}
 	}
 
-	var opts []serve.HandlerOption
+	opts := []serve.HandlerOption{serve.WithTracer(tracer)}
 	if *accessLog {
 		opts = append(opts, serve.WithAccessLog(jsonLogger()))
+	}
+	if *pprofOn {
+		opts = append(opts, serve.WithPprof())
 	}
 	h := serve.NewHandler(gw, opts...)
 

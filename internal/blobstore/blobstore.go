@@ -62,8 +62,14 @@ type LatencyModel struct {
 	Sleep bool
 }
 
+// cost computes the simulated charge for an operation without sleeping —
+// used both by charge and by trace attribution.
+func (m LatencyModel) cost(bytes int) time.Duration {
+	return m.Base + time.Duration(bytes/1024)*m.PerKB
+}
+
 func (m LatencyModel) charge(bytes int) time.Duration {
-	d := m.Base + time.Duration(bytes/1024)*m.PerKB
+	d := m.cost(bytes)
 	if m.Sleep && d > 0 {
 		time.Sleep(d)
 	}

@@ -5,6 +5,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,9 +14,11 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"gallery/internal/api"
+	"gallery/internal/obs/trace"
 )
 
 // Options tunes a Client.
@@ -80,6 +83,15 @@ func (e *APIError) Error() string {
 // do issues one request with bounded retry; out may be nil for statusless
 // calls.
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doCtx(context.Background(), method, path, in, out)
+}
+
+// doCtx is do carrying a caller context. When ctx holds an active span,
+// every attempt becomes its own child span (annotated with the attempt
+// number and the backoff slept before it) and the request carries a W3C
+// traceparent header, so a traced server joins the caller's trace across
+// the process boundary.
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) error {
 	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -88,20 +100,32 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		payload = b
 	}
+	var backoff time.Duration
 	for attempt := 0; ; attempt++ {
-		err := c.once(method, path, in != nil, payload, out)
+		err := c.once(ctx, method, path, in != nil, payload, out, attempt, backoff)
 		if err == nil {
 			return nil
 		}
 		if attempt >= c.opts.Retries || !retryable(method, err) {
 			return err
 		}
-		c.opts.Sleep(c.backoff(attempt))
+		backoff = c.backoff(attempt)
+		c.opts.Sleep(backoff)
 	}
 }
 
 // once issues exactly one HTTP round trip.
-func (c *Client) once(method, path string, hasBody bool, payload []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, hasBody bool, payload []byte, out any, attempt int, backoff time.Duration) (err error) {
+	_, span := trace.Start(ctx, "client.request")
+	if span != nil {
+		span.Annotate("http.method", method)
+		span.Annotate("http.path", path)
+		span.AnnotateInt("attempt", int64(attempt))
+		if backoff > 0 {
+			span.AnnotateDuration("backoff", backoff)
+		}
+		defer func() { span.EndErr(err) }()
+	}
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(payload)
@@ -113,6 +137,9 @@ func (c *Client) once(method, path string, hasBody bool, payload []byte, out any
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if span != nil {
+		req.Header.Set("traceparent", span.Traceparent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -121,6 +148,9 @@ func (c *Client) once(method, path string, hasBody bool, payload []byte, out any
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
+	}
+	if span != nil {
+		span.AnnotateInt("http.status", int64(resp.StatusCode))
 	}
 	if resp.StatusCode >= 400 {
 		var e api.Error
@@ -225,8 +255,13 @@ func (c *Client) VersionHistory(id string) ([]api.VersionRecord, error) {
 
 // ProductionVersion returns a model's promoted version.
 func (c *Client) ProductionVersion(id string) (api.VersionRecord, error) {
+	return c.ProductionVersionCtx(context.Background(), id)
+}
+
+// ProductionVersionCtx is ProductionVersion with trace propagation.
+func (c *Client) ProductionVersionCtx(ctx context.Context, id string) (api.VersionRecord, error) {
 	var v api.VersionRecord
-	err := c.do("GET", "/v1/models/"+id+"/production", nil, &v)
+	err := c.doCtx(ctx, "GET", "/v1/models/"+id+"/production", nil, &v)
 	return v, err
 }
 
@@ -244,8 +279,13 @@ func (c *Client) PromoteInstance(instanceID string) error {
 // Predict asks a serving gateway (a galleryserve endpoint, not galleryd)
 // for a forecast from a model's production instance.
 func (c *Client) Predict(modelID string, req api.PredictRequest) (api.PredictResponse, error) {
+	return c.PredictCtx(context.Background(), modelID, req)
+}
+
+// PredictCtx is Predict with trace propagation.
+func (c *Client) PredictCtx(ctx context.Context, modelID string, req api.PredictRequest) (api.PredictResponse, error) {
 	var resp api.PredictResponse
-	err := c.do("POST", "/v1/predict/"+url.PathEscape(modelID), req, &resp)
+	err := c.doCtx(ctx, "POST", "/v1/predict/"+url.PathEscape(modelID), req, &resp)
 	return resp, err
 }
 
@@ -289,15 +329,25 @@ func (c *Client) UploadInstance(req api.UploadInstanceRequest) (api.Instance, er
 
 // GetInstance fetches instance metadata.
 func (c *Client) GetInstance(id string) (api.Instance, error) {
+	return c.GetInstanceCtx(context.Background(), id)
+}
+
+// GetInstanceCtx is GetInstance with trace propagation.
+func (c *Client) GetInstanceCtx(ctx context.Context, id string) (api.Instance, error) {
 	var in api.Instance
-	err := c.do("GET", "/v1/instances/"+id, nil, &in)
+	err := c.doCtx(ctx, "GET", "/v1/instances/"+id, nil, &in)
 	return in, err
 }
 
 // FetchBlob downloads an instance's serialized model bytes.
 func (c *Client) FetchBlob(id string) ([]byte, error) {
+	return c.FetchBlobCtx(context.Background(), id)
+}
+
+// FetchBlobCtx is FetchBlob with trace propagation.
+func (c *Client) FetchBlobCtx(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
-	err := c.do("GET", "/v1/instances/"+id+"/blob", nil, &raw)
+	err := c.doCtx(ctx, "GET", "/v1/instances/"+id+"/blob", nil, &raw)
 	return raw, err
 }
 
@@ -387,6 +437,27 @@ func (c *Client) Stats() (api.Stats, error) {
 func (c *Client) DebugMetrics() (json.RawMessage, error) {
 	var raw json.RawMessage
 	err := c.do("GET", "/v1/debug/metrics", nil, &raw)
+	return raw, err
+}
+
+// DebugTraces lists the newest sampled traces held in the server's ring
+// buffer as raw JSON ({"stats": ..., "traces": [...]}). limit <= 0 uses
+// the server default.
+func (c *Client) DebugTraces(limit int) (json.RawMessage, error) {
+	path := "/v1/debug/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var raw json.RawMessage
+	err := c.do("GET", path, nil, &raw)
+	return raw, err
+}
+
+// DebugTrace fetches one trace by 32-hex trace id, including its span
+// tree, as raw JSON.
+func (c *Client) DebugTrace(id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do("GET", "/v1/debug/traces/"+url.PathEscape(id), nil, &raw)
 	return raw, err
 }
 

@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gallery/internal/obs/trace"
+)
+
+func attrValue(s trace.SpanData, key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TestRetryAttemptsAreSiblingSpans: each attempt of a retried request must
+// be its own child span under the caller's span — siblings annotated with
+// the attempt number and the backoff that preceded them — and each attempt
+// must carry a fresh traceparent (same trace, new span ID) on the wire.
+func TestRetryAttemptsAreSiblingSpans(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		parents []string
+		calls   int
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		parents = append(parents, r.Header.Get("traceparent"))
+		n := calls
+		calls++
+		mu.Unlock()
+		if n < 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("blob-bytes"))
+	}))
+	defer ts.Close()
+
+	tr := trace.New(trace.Options{Service: "caller", Sampler: trace.Always()})
+	ctx, root := tr.StartRoot(context.Background(), "caller", "")
+
+	c := NewWith(ts.URL, Options{Retries: 2, Sleep: func(time.Duration) {}})
+	blob, err := c.FetchBlobCtx(ctx, "inst-1")
+	if err != nil {
+		t.Fatalf("fetch after transient 500s: %v", err)
+	}
+	if string(blob) != "blob-bytes" {
+		t.Fatalf("blob = %q", blob)
+	}
+	root.End()
+
+	d, ok := tr.Store().Get(root.TraceIDString())
+	if !ok {
+		t.Fatal("caller trace not recorded")
+	}
+	if len(d.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(d.Roots))
+	}
+	var attempts []trace.SpanData
+	for _, n := range d.Roots[0].Children {
+		if n.Span.Name == "client.request" {
+			attempts = append(attempts, n.Span)
+		}
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("got %d client.request spans, want 3 (2 failures + success)", len(attempts))
+	}
+	rootSpan := d.Roots[0].Span
+	for i, s := range attempts {
+		if s.ParentID != rootSpan.SpanID {
+			t.Fatalf("attempt %d parent = %s, want sibling under caller span %s", i, s.ParentID, rootSpan.SpanID)
+		}
+		if got, _ := attrValue(s, "attempt"); got != []string{"0", "1", "2"}[i] {
+			t.Fatalf("attempt %d annotated as %q", i, got)
+		}
+		if _, hasBackoff := attrValue(s, "backoff"); hasBackoff != (i > 0) {
+			t.Fatalf("attempt %d backoff annotation presence = %v", i, hasBackoff)
+		}
+		status, _ := attrValue(s, "http.status")
+		if want := []string{"500", "500", "200"}[i]; status != want {
+			t.Fatalf("attempt %d http.status = %q, want %q", i, status, want)
+		}
+	}
+	// Failed attempts carry the error; the final one is clean.
+	if attempts[0].Error == "" || attempts[1].Error == "" || attempts[2].Error != "" {
+		t.Fatalf("attempt errors = %q %q %q", attempts[0].Error, attempts[1].Error, attempts[2].Error)
+	}
+
+	// On the wire: every attempt propagated the same trace ID but its own
+	// span ID, so the server parents each attempt separately.
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for i, h := range parents {
+		tid, sid, sampled, err := trace.ParseTraceparent(h)
+		if err != nil || !sampled {
+			t.Fatalf("attempt %d traceparent %q: sampled=%v err=%v", i, h, sampled, err)
+		}
+		if tid.String() != root.TraceIDString() {
+			t.Fatalf("attempt %d propagated trace %s, want %s", i, tid, root.TraceIDString())
+		}
+		if seen[sid.String()] {
+			t.Fatalf("attempt %d reused span ID %s", i, sid)
+		}
+		seen[sid.String()] = true
+	}
+}
+
+// TestUntracedContextSendsNoTraceparent: without a span in the context the
+// client must not invent one.
+func TestUntracedContextSendsNoTraceparent(t *testing.T) {
+	var header string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header = r.Header.Get("traceparent")
+		w.Write([]byte("x"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, ts.Client())
+	if _, err := c.FetchBlob("inst-1"); err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		t.Fatalf("untraced request sent traceparent %q", header)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/uuid"
 )
@@ -278,15 +280,30 @@ func (g *Registry) latestVersionLocked(id uuid.UUID) (*VersionRecord, error) {
 // ProductionVersion returns the version currently promoted for a model,
 // or ErrNotFound if none is.
 func (g *Registry) ProductionVersion(id uuid.UUID) (*VersionRecord, error) {
+	return g.ProductionVersionCtx(context.Background(), id)
+}
+
+// ProductionVersionCtx is ProductionVersion with trace attribution. The
+// lookup runs under the registry lock, so the span covers the whole
+// resolve (model row + version row) rather than individual table reads.
+func (g *Registry) ProductionVersionCtx(ctx context.Context, id uuid.UUID) (*VersionRecord, error) {
+	_, span := trace.Start(ctx, "core.production_version")
+	if span != nil {
+		span.Annotate("model", id.String())
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	v, err := g.productionVersionLocked(id)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
 	if v == nil {
-		return nil, fmt.Errorf("%w: model %s has no production version", ErrNotFound, id)
+		err = fmt.Errorf("%w: model %s has no production version", ErrNotFound, id)
+		span.EndErr(err)
+		return nil, err
 	}
+	span.End()
 	return v, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"gallery/internal/clock"
 	"gallery/internal/dal"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/uuid"
 )
@@ -280,6 +282,23 @@ func (g *Registry) DeprecateModel(id uuid.UUID) error {
 // (paper §3.5 write ordering; §3.4.2 propagation). The returned instance
 // carries its assigned UUID and blob location.
 func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, error) {
+	return g.UploadInstanceCtx(context.Background(), spec, blob)
+}
+
+// UploadInstanceCtx is UploadInstance with trace attribution: the span's
+// children are the replicated blob put and the atomic metadata batch, so
+// a slow upload shows which half cost what.
+func (g *Registry) UploadInstanceCtx(ctx context.Context, spec InstanceSpec, blob []byte) (*Instance, error) {
+	ctx, span := trace.Start(ctx, "core.upload_instance")
+	if span != nil {
+		span.AnnotateInt("blob_bytes", int64(len(blob)))
+	}
+	in, err := g.uploadInstanceCtx(ctx, spec, blob)
+	span.EndErr(err)
+	return in, err
+}
+
+func (g *Registry) uploadInstanceCtx(ctx context.Context, spec InstanceSpec, blob []byte) (*Instance, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	m, err := g.getModelLocked(spec.ModelID)
@@ -311,7 +330,7 @@ func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, er
 	pinLoc := g.dal.Blobs().Location(in.ID.String())
 	g.dal.Pin(pinLoc)
 	defer g.dal.Unpin(pinLoc)
-	loc, err := g.dal.PutBlob(in.ID.String(), blob)
+	loc, err := g.dal.PutBlobCtx(ctx, in.ID.String(), blob)
 	if err != nil {
 		return nil, fmt.Errorf("core: blob write for instance %s: %w", in.ID, err)
 	}
@@ -327,7 +346,7 @@ func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, er
 		return nil, err
 	}
 	muts = append(muts, bumps...)
-	if err := g.dal.Meta().Batch(muts); err != nil {
+	if err := g.dal.Meta().BatchCtx(ctx, muts); err != nil {
 		// The blob is now an orphan; the DAL garbage collector reclaims it.
 		return nil, fmt.Errorf("core: metadata write for instance %s (blob orphaned): %w", in.ID, err)
 	}
@@ -336,7 +355,13 @@ func (g *Registry) UploadInstance(spec InstanceSpec, blob []byte) (*Instance, er
 
 // GetInstance fetches instance metadata by id.
 func (g *Registry) GetInstance(id uuid.UUID) (*Instance, error) {
-	row, err := g.dal.Meta().Get(TableInstances, id.String())
+	return g.GetInstanceCtx(context.Background(), id)
+}
+
+// GetInstanceCtx is GetInstance with trace attribution down through the
+// metadata read.
+func (g *Registry) GetInstanceCtx(ctx context.Context, id uuid.UUID) (*Instance, error) {
+	row, err := g.dal.Meta().GetCtx(ctx, TableInstances, id.String())
 	if errors.Is(err, relstore.ErrNotFound) {
 		return nil, fmt.Errorf("%w: instance %s", ErrNotFound, id)
 	}
@@ -349,14 +374,30 @@ func (g *Registry) GetInstance(id uuid.UUID) (*Instance, error) {
 // FetchBlob returns the serialized model bytes for an instance, through
 // the DAL's read cache.
 func (g *Registry) FetchBlob(id uuid.UUID) ([]byte, error) {
-	in, err := g.GetInstance(id)
+	return g.FetchBlobCtx(context.Background(), id)
+}
+
+// FetchBlobCtx is FetchBlob with trace attribution: one core-level span
+// whose children are the metadata read and the cached blob read.
+func (g *Registry) FetchBlobCtx(ctx context.Context, id uuid.UUID) ([]byte, error) {
+	ctx, span := trace.Start(ctx, "core.fetch_blob")
+	if span != nil {
+		span.Annotate("instance", id.String())
+	}
+	data, err := g.fetchBlobCtx(ctx, id)
+	span.EndErr(err)
+	return data, err
+}
+
+func (g *Registry) fetchBlobCtx(ctx context.Context, id uuid.UUID) ([]byte, error) {
+	in, err := g.GetInstanceCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	if in.BlobLocation == "" {
 		return nil, fmt.Errorf("%w: instance %s has no blob", ErrNotFound, id)
 	}
-	return g.dal.GetBlob(in.BlobLocation)
+	return g.dal.GetBlobCtx(ctx, in.BlobLocation)
 }
 
 // DeprecateInstance flags an instance; fetching by id still works, but
@@ -393,13 +434,19 @@ func (g *Registry) Lineage(baseVersionID string) ([]*Instance, error) {
 
 // InsertMetric records one evaluation measurement for an instance.
 func (g *Registry) InsertMetric(instanceID uuid.UUID, name string, scope Scope, value float64) (*Metric, error) {
+	return g.InsertMetricCtx(context.Background(), instanceID, name, scope, value)
+}
+
+// InsertMetricCtx is InsertMetric with trace attribution down through the
+// metadata read and insert.
+func (g *Registry) InsertMetricCtx(ctx context.Context, instanceID uuid.UUID, name string, scope Scope, value float64) (*Metric, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: metric name is required", ErrBadSpec)
 	}
 	if !ValidScope(scope) {
 		return nil, fmt.Errorf("%w: unknown scope %q", ErrBadSpec, scope)
 	}
-	in, err := g.GetInstance(instanceID)
+	in, err := g.GetInstanceCtx(ctx, instanceID)
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +459,7 @@ func (g *Registry) InsertMetric(instanceID uuid.UUID, name string, scope Scope, 
 		Value:      value,
 		At:         g.now(),
 	}
-	if err := g.dal.Meta().Insert(TableMetrics, metricToRow(m)); err != nil {
+	if err := g.dal.Meta().InsertCtx(ctx, TableMetrics, metricToRow(m)); err != nil {
 		return nil, err
 	}
 	return m, nil

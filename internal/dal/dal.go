@@ -25,6 +25,7 @@
 package dal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,6 +34,7 @@ import (
 	"gallery/internal/blobstore"
 	"gallery/internal/cache"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 )
 
@@ -173,11 +175,24 @@ func (d *DAL) isPinned(location string) bool {
 // fails the blob is left behind as an orphan; it is unreachable and a
 // later CollectOrphans reclaims it.
 func (d *DAL) InsertWithBlob(table string, row relstore.Row, locField, blobKey string, blob []byte) (string, error) {
+	return d.InsertWithBlobCtx(context.Background(), table, row, locField, blobKey, blob)
+}
+
+// InsertWithBlobCtx is InsertWithBlob with trace attribution: one span for
+// the ordered write pair, with blob-put and metadata-insert children.
+func (d *DAL) InsertWithBlobCtx(ctx context.Context, table string, row relstore.Row, locField, blobKey string, blob []byte) (string, error) {
+	ctx, span := trace.Start(ctx, "dal.insert_with_blob")
+	loc, err := d.insertWithBlobCtx(ctx, table, row, locField, blobKey, blob)
+	span.EndErr(err)
+	return loc, err
+}
+
+func (d *DAL) insertWithBlobCtx(ctx context.Context, table string, row relstore.Row, locField, blobKey string, blob []byte) (string, error) {
 	pinLoc := d.blobs.Location(blobKey)
 	d.Pin(pinLoc)
 	defer d.Unpin(pinLoc)
 
-	loc, err := d.blobs.Put(blobKey, blob)
+	loc, err := d.blobs.PutCtx(ctx, blobKey, blob)
 	if err != nil {
 		return "", fmt.Errorf("dal: blob write failed, nothing recorded: %w", err)
 	}
@@ -187,7 +202,7 @@ func (d *DAL) InsertWithBlob(table string, row relstore.Row, locField, blobKey s
 	}
 	row = row.Clone()
 	row[locField] = relstore.String(loc)
-	if err := d.meta.Insert(table, row); err != nil {
+	if err := d.meta.InsertCtx(ctx, table, row); err != nil {
 		return "", fmt.Errorf("dal: metadata write failed, blob %s orphaned: %w", blobKey, err)
 	}
 	return loc, nil
@@ -198,7 +213,12 @@ func (d *DAL) InsertWithBlob(table string, row relstore.Row, locField, blobKey s
 // Pin the key's location before calling and Unpin after the metadata
 // commit, per the pin protocol.
 func (d *DAL) PutBlob(key string, blob []byte) (string, error) {
-	loc, err := d.blobs.Put(key, blob)
+	return d.PutBlobCtx(context.Background(), key, blob)
+}
+
+// PutBlobCtx is PutBlob with trace attribution.
+func (d *DAL) PutBlobCtx(ctx context.Context, key string, blob []byte) (string, error) {
+	loc, err := d.blobs.PutCtx(ctx, key, blob)
 	if err != nil {
 		return "", err
 	}
@@ -227,12 +247,25 @@ func (d *DAL) InsertMetadataFirst(table string, row relstore.Row, locField, blob
 // misses on the same location coalesce into a single backend fetch: one
 // caller populates the cache while the rest wait for its result.
 func (d *DAL) GetBlob(location string) ([]byte, error) {
+	return d.GetBlobCtx(context.Background(), location)
+}
+
+// GetBlobCtx is GetBlob with trace attribution. The span's cache attr
+// records which path answered — "hit", "miss" (this caller fetched from
+// the backend), or "coalesced" (waited on another caller's fetch) — and
+// the read-latency histogram gains an exemplar pointing at the trace.
+func (d *DAL) GetBlobCtx(ctx context.Context, location string) ([]byte, error) {
+	ctx, span := trace.Start(ctx, "dal.get_blob")
 	start := time.Now()
-	defer d.hGetSeconds.ObserveSince(start)
+	defer func() { d.hGetSeconds.ObserveSinceExemplar(start, span.TraceIDString()) }()
 	d.cBlobGets.Inc()
 
 	if data, ok := d.cache.Get(location); ok {
 		d.cCacheHits.Inc()
+		if span != nil {
+			span.Annotate("cache", "hit")
+			span.End()
+		}
 		return data, nil
 	}
 	d.cCacheMisses.Inc()
@@ -241,19 +274,27 @@ func (d *DAL) GetBlob(location string) ([]byte, error) {
 	if f, ok := d.flights[location]; ok {
 		d.mu.Unlock()
 		d.cCoalesced.Inc()
+		if span != nil {
+			span.Annotate("cache", "coalesced")
+		}
 		<-f.done
 		if f.err != nil {
+			span.EndErr(f.err)
 			return nil, f.err
 		}
 		cp := make([]byte, len(f.data))
 		copy(cp, f.data)
+		span.End()
 		return cp, nil
 	}
 	f := &inflightGet{done: make(chan struct{})}
 	d.flights[location] = f
 	d.mu.Unlock()
 
-	data, err := d.blobs.Get(location)
+	if span != nil {
+		span.Annotate("cache", "miss")
+	}
+	data, err := d.blobs.GetCtx(ctx, location)
 	if err == nil {
 		d.cache.Put(location, data)
 	}
@@ -262,6 +303,7 @@ func (d *DAL) GetBlob(location string) ([]byte, error) {
 	delete(d.flights, location)
 	d.mu.Unlock()
 	close(f.done)
+	span.EndErr(err)
 	return data, err
 }
 

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+
+	// Empty trace IDs never become exemplars.
+	h.ObserveExemplar(99, "")
+	if got := h.Exemplars(); len(got) != 0 {
+		t.Fatalf("untraced observation retained: %+v", got)
+	}
+
+	// The slots retain the largest traced observations, largest first.
+	for i, v := range []float64{5, 1, 3, 2, 4, 0.5, 6} {
+		h.ObserveExemplar(v, fmt.Sprintf("trace-%d", i))
+	}
+	got := h.Exemplars()
+	if len(got) != exemplarSlots {
+		t.Fatalf("retained %d exemplars, want %d", len(got), exemplarSlots)
+	}
+	wantVals := []float64{6, 5, 4, 3}
+	for i, ex := range got {
+		if ex.Value != wantVals[i] {
+			t.Fatalf("exemplars = %+v, want values %v", got, wantVals)
+		}
+	}
+	if got[0].TraceID != "trace-6" {
+		t.Fatalf("largest exemplar trace = %q, want trace-6", got[0].TraceID)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d; exemplar path must still observe", h.Count())
+	}
+}
+
+func TestHistogramExemplarsConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.ObserveExemplar(float64(i%50), fmt.Sprintf("t-%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := h.Exemplars()
+	if len(got) != exemplarSlots {
+		t.Fatalf("retained %d exemplars, want %d", len(got), exemplarSlots)
+	}
+	for _, ex := range got {
+		if ex.Value != 49 {
+			t.Fatalf("exemplar %v survived, want only the max value 49", ex)
+		}
+	}
+}
+
+func TestSnapshotCarriesExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", LatencyBuckets)
+	h.ObserveExemplar(1.25, "deadbeef")
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Histograms map[string]struct {
+			Exemplars []Exemplar `json:"exemplars"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := snap.Histograms["req_seconds"]
+	if !ok || len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != "deadbeef" {
+		t.Fatalf("snapshot exemplars = %+v, want [deadbeef]", hs)
+	}
+}

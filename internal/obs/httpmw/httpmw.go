@@ -1,0 +1,148 @@
+// Package httpmw is the HTTP observability middleware shared by the
+// registry server (internal/server) and the serving gateway
+// (internal/serve). Both tiers previously reimplemented the status
+// recorder and per-route metrics; this package is the single copy, plus
+// the tracing entry point: it extracts a W3C-style `traceparent` header,
+// starts the process's root span, and stashes it in the request context
+// for every layer below to parent onto.
+package httpmw
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
+)
+
+// TraceparentHeader is the propagation header name (W3C Trace Context).
+const TraceparentHeader = "traceparent"
+
+// Options configures the middleware.
+type Options struct {
+	// Obs receives per-route metrics; required.
+	Obs *obs.Registry
+	// AccessLog, when set, emits one structured line per request.
+	AccessLog *slog.Logger
+	// Tracer, when set, starts a root span per request (subject to its
+	// sampler, or forced by an incoming sampled traceparent).
+	Tracer *trace.Tracer
+	// AllLatency, when set, additionally observes every request's latency
+	// (the server's route-agnostic SLO histogram).
+	AllLatency *obs.Histogram
+}
+
+// StatusRecorder captures the status code and body size a handler writes,
+// for metrics and the access log.
+type StatusRecorder struct {
+	http.ResponseWriter
+	Status      int
+	Bytes       int64
+	wroteHeader bool
+}
+
+// WriteHeader records the first status code written.
+func (w *StatusRecorder) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.Status = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes (and records the implicit 200).
+func (w *StatusRecorder) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.wroteHeader = true // implicit 200
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.Bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the recorder.
+func (w *StatusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// StatusClass folds a status code into its class label ("2xx", "4xx", ...).
+func StatusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Wrap returns next behind the observability middleware: per-route request
+// counters by status class, latency and body-size histograms (latency
+// carries slow-trace exemplars when the request is traced), root span
+// start/end, and one structured access-log line. The route label is the
+// ServeMux pattern that matched (bounded cardinality), never the raw URL.
+func Wrap(next http.Handler, o Options) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, span := o.Tracer.StartRoot(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get(TraceparentHeader))
+		if span != nil {
+			r = r.WithContext(ctx)
+		}
+		rec := &StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		traceID := span.TraceIDString()
+
+		o.Obs.Counter(obs.Name("http_requests_total", "route", route, "status", StatusClass(rec.Status))).Inc()
+		o.Obs.Histogram(obs.Name("http_request_seconds", "route", route), obs.LatencyBuckets).
+			ObserveExemplar(elapsed.Seconds(), traceID)
+		if o.AllLatency != nil {
+			o.AllLatency.ObserveExemplar(elapsed.Seconds(), traceID)
+		}
+		if r.ContentLength > 0 {
+			o.Obs.Histogram(obs.Name("http_request_bytes", "route", route), obs.SizeBuckets).
+				Observe(float64(r.ContentLength))
+		}
+		o.Obs.Histogram(obs.Name("http_response_bytes", "route", route), obs.SizeBuckets).
+			Observe(float64(rec.Bytes))
+
+		if span != nil {
+			span.Rename(route)
+			span.Annotate("http.path", r.URL.Path)
+			span.AnnotateInt("http.status", int64(rec.Status))
+			span.AnnotateInt("http.response_bytes", rec.Bytes)
+			if rec.Status >= 500 {
+				span.Fail("http " + StatusClass(rec.Status))
+			}
+			span.End()
+		}
+
+		if o.AccessLog != nil {
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.Status,
+				"bytes", rec.Bytes,
+				"dur_ms", float64(elapsed.Microseconds()) / 1000,
+				"remote", r.RemoteAddr,
+			}
+			if traceID != "" {
+				attrs = append(attrs, "trace_id", traceID)
+			}
+			o.AccessLog.Info("request", attrs...)
+		}
+	})
+}

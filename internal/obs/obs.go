@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -87,6 +88,24 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits; valid only when count > 0
+
+	// Slow-trace exemplars: the trace IDs behind the largest observations,
+	// so a fat top bucket in /v1/debug/metrics links directly to span
+	// trees in /v1/debug/traces. exMin caches the smallest retained
+	// exemplar value so the common case (not a new extreme) is one atomic
+	// load, no lock.
+	exMin     atomic.Uint64 // float64 bits; 0 until slots fill
+	exMu      sync.Mutex
+	exemplars []Exemplar
+}
+
+// exemplarSlots bounds retained exemplars per histogram.
+const exemplarSlots = 4
+
+// Exemplar ties one large observation to the trace that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // NewHistogram builds a histogram over the given sorted upper bounds.
@@ -122,6 +141,67 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the elapsed wall-clock time since start, in seconds.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveExemplar records v and, when traceID is non-empty and v ranks
+// among the largest observations seen, retains (v, traceID) as an
+// exemplar. An empty traceID (request not traced) degrades to a plain
+// Observe — the unsampled hot path pays one extra branch.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	// Fast reject: slots full and v no larger than the smallest retained.
+	// exMin is zero until the slots fill, so early exemplars always pass.
+	if v <= math.Float64frombits(h.exMin.Load()) {
+		return
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.exemplars) < exemplarSlots {
+		h.exemplars = append(h.exemplars, Exemplar{Value: v, TraceID: traceID})
+		if len(h.exemplars) == exemplarSlots {
+			h.exMin.Store(math.Float64bits(h.minExemplarLocked()))
+		}
+		return
+	}
+	minIdx := 0
+	for i, ex := range h.exemplars {
+		if ex.Value < h.exemplars[minIdx].Value {
+			minIdx = i
+		}
+	}
+	if v <= h.exemplars[minIdx].Value {
+		return // lost a race with a larger concurrent observation
+	}
+	h.exemplars[minIdx] = Exemplar{Value: v, TraceID: traceID}
+	h.exMin.Store(math.Float64bits(h.minExemplarLocked()))
+}
+
+// ObserveSinceExemplar is ObserveSince with exemplar attribution.
+func (h *Histogram) ObserveSinceExemplar(start time.Time, traceID string) {
+	h.ObserveExemplar(time.Since(start).Seconds(), traceID)
+}
+
+func (h *Histogram) minExemplarLocked() float64 {
+	min := math.Inf(1)
+	for _, ex := range h.exemplars {
+		if ex.Value < min {
+			min = ex.Value
+		}
+	}
+	return min
+}
+
+// Exemplars returns retained exemplars, largest first.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	h.exMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }

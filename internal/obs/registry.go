@@ -107,15 +107,18 @@ type Bucket struct {
 	Count int64  `json:"count"`
 }
 
-// HistSnapshot summarizes a histogram at a point in time.
+// HistSnapshot summarizes a histogram at a point in time. Exemplars, when
+// present, are the trace IDs behind the largest observations — follow
+// them into /v1/debug/traces for the span tree that explains the tail.
 type HistSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Max     float64  `json:"max"`
-	P50     float64  `json:"p50"`
-	P95     float64  `json:"p95"`
-	P99     float64  `json:"p99"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count     int64      `json:"count"`
+	Sum       float64    `json:"sum"`
+	Max       float64    `json:"max"`
+	P50       float64    `json:"p50"`
+	P95       float64    `json:"p95"`
+	P99       float64    `json:"p99"`
+	Buckets   []Bucket   `json:"buckets,omitempty"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry. It
@@ -147,12 +150,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		hs := HistSnapshot{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Max:   h.Max(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
+			Count:     h.Count(),
+			Sum:       h.Sum(),
+			Max:       h.Max(),
+			P50:       h.Quantile(0.50),
+			P95:       h.Quantile(0.95),
+			P99:       h.Quantile(0.99),
+			Exemplars: h.Exemplars(),
 		}
 		for i := range h.counts {
 			n := h.counts[i].Load()

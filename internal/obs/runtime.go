@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortizes runtime.ReadMemStats — a stop-the-world call —
+// across the several gauge funcs that read it in one snapshot (and across
+// rapid snapshot polls).
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ttl  time.Duration
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return c.stat
+}
+
+// RegisterRuntime registers process-health gauges on r, turning
+// GET /v1/debug/metrics into a lightweight profile:
+//
+//	runtime_goroutines            live goroutine count
+//	runtime_heap_alloc_bytes      live heap bytes
+//	runtime_heap_sys_bytes        heap bytes held from the OS
+//	runtime_gc_runs_total         completed GC cycles
+//	runtime_gc_pause_last_seconds most recent GC stop-the-world pause
+//
+// Values derived from MemStats share a ~1s cache so snapshot polling
+// doesn't itself become a stop-the-world generator.
+func RegisterRuntime(r *Registry) {
+	cache := &memStatsCache{ttl: time.Second}
+	r.GaugeFunc("runtime_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("runtime_heap_alloc_bytes", func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc("runtime_heap_sys_bytes", func() float64 {
+		return float64(cache.get().HeapSys)
+	})
+	r.GaugeFunc("runtime_gc_runs_total", func() float64 {
+		return float64(cache.get().NumGC)
+	})
+	r.GaugeFunc("runtime_gc_pause_last_seconds", func() float64 {
+		m := cache.get()
+		if m.NumGC == 0 {
+			return 0
+		}
+		return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+	})
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sampler decides which requests are traced. The decision has two halves:
+//
+//   - Sample, consulted when a root span would start (head): false means
+//     the request runs with a nil span and tracing costs nothing;
+//   - Keep, consulted when the local root ends (tail): false means the
+//     recorded spans are dropped instead of committed to the ring buffer.
+//
+// The split is what makes "errors and slow requests only" possible — you
+// cannot know a request will be slow before running it, so errslow records
+// everything and filters at the end.
+type Sampler interface {
+	Sample() bool
+	Keep(rootDuration time.Duration, hadError bool) bool
+	// Spec returns the string form that parses back to this sampler.
+	Spec() string
+}
+
+// Never records nothing: the zero-overhead default.
+func Never() Sampler { return neverSampler{} }
+
+type neverSampler struct{}
+
+func (neverSampler) Sample() bool                  { return false }
+func (neverSampler) Keep(time.Duration, bool) bool { return false }
+func (neverSampler) Spec() string                  { return "never" }
+
+// Always records and keeps every request.
+func Always() Sampler { return alwaysSampler{} }
+
+type alwaysSampler struct{}
+
+func (alwaysSampler) Sample() bool                  { return true }
+func (alwaysSampler) Keep(time.Duration, bool) bool { return true }
+func (alwaysSampler) Spec() string                  { return "always" }
+
+// Probabilistic records each request independently with probability p and
+// keeps everything it records.
+func Probabilistic(p float64) Sampler {
+	if p <= 0 {
+		return Never()
+	}
+	if p >= 1 {
+		return Always()
+	}
+	return probSampler{p: p}
+}
+
+type probSampler struct{ p float64 }
+
+func (s probSampler) Sample() bool                  { return rand.Float64() < s.p }
+func (s probSampler) Keep(time.Duration, bool) bool { return true }
+func (s probSampler) Spec() string                  { return strconv.FormatFloat(s.p, 'g', -1, 64) }
+
+// ErrSlow records every request but keeps only those that errored or whose
+// root span ran at least slow — the production posture: near-zero steady
+// cost in the buffer, full span trees for exactly the requests worth
+// explaining.
+func ErrSlow(slow time.Duration) Sampler { return errSlowSampler{slow: slow} }
+
+type errSlowSampler struct{ slow time.Duration }
+
+func (errSlowSampler) Sample() bool { return true }
+func (s errSlowSampler) Keep(d time.Duration, hadError bool) bool {
+	return hadError || d >= s.slow
+}
+func (s errSlowSampler) Spec() string { return "errslow:" + s.slow.String() }
+
+// ErrSamplerSpec reports an unparseable sampler spec string.
+var ErrSamplerSpec = errors.New("trace: bad sampler spec")
+
+// ParseSampler turns a flag value into a Sampler:
+//
+//	"never"          → Never
+//	"always"         → Always
+//	"0.25"           → Probabilistic(0.25)
+//	"errslow:250ms"  → ErrSlow(250ms)
+func ParseSampler(spec string) (Sampler, error) {
+	switch {
+	case spec == "" || spec == "never" || spec == "off":
+		return Never(), nil
+	case spec == "always":
+		return Always(), nil
+	case strings.HasPrefix(spec, "errslow:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(spec, "errslow:"))
+		if err != nil || d < 0 {
+			return nil, ErrSamplerSpec
+		}
+		return ErrSlow(d), nil
+	default:
+		p, err := strconv.ParseFloat(spec, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, ErrSamplerSpec
+		}
+		return Probabilistic(p), nil
+	}
+}

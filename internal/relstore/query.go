@@ -1,11 +1,13 @@
 package relstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"gallery/internal/btree"
+	"gallery/internal/obs/trace"
 )
 
 // Op is a constraint operator. The set mirrors what Gallery's model search
@@ -173,6 +175,21 @@ func (c Constraint) indexable() (rank int, ok bool) {
 // Select runs a query and returns row copies.
 func (s *Store) Select(q Query) ([]Row, error) {
 	rows, _, err := s.SelectExplain(q)
+	return rows, err
+}
+
+// SelectCtx is Select with trace attribution: a per-table query span
+// annotated with how the query executed (index vs scan) and the rows it
+// returned.
+func (s *Store) SelectCtx(ctx context.Context, q Query) ([]Row, error) {
+	_, span := trace.Start(ctx, "relstore.select")
+	rows, ex, err := s.SelectExplain(q)
+	if span != nil {
+		span.Annotate("table", q.Table)
+		span.Annotate("index", ex.Index)
+		span.AnnotateInt("rows", int64(len(rows)))
+	}
+	span.EndErr(err)
 	return rows, err
 }
 

@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"gallery/internal/btree"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 	"gallery/internal/wal"
 )
 
@@ -151,17 +153,28 @@ const (
 )
 
 // logOp persists op if the store is durable.
-func (s *Store) logOp(op walOp) error {
+func (s *Store) logOp(op walOp) error { return s.logOpCtx(context.Background(), op) }
+
+// logOpCtx is logOp with trace attribution: the WAL append — the only
+// disk wait on the mutation path — gets its own child span, and the
+// append-latency histogram an exemplar pointing back at the trace.
+func (s *Store) logOpCtx(ctx context.Context, op walOp) error {
 	if s.log == nil {
 		return nil
 	}
+	_, span := trace.Start(ctx, "relstore.wal_append")
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		span.EndErr(err)
 		return fmt.Errorf("relstore: encode wal record: %w", err)
 	}
 	start := time.Now()
 	err := s.log.Append(buf.Bytes())
-	s.walSeconds.ObserveSince(start)
+	s.walSeconds.ObserveSinceExemplar(start, span.TraceIDString())
+	if span != nil {
+		span.AnnotateInt("bytes", int64(buf.Len()))
+	}
+	span.EndErr(err)
 	return err
 }
 
@@ -252,13 +265,29 @@ func (s *Store) applyCreateTable(schema Schema) error {
 // Insert adds a new row. Gallery data is immutable, so inserting an existing
 // primary key fails with ErrDuplicate rather than overwriting.
 func (s *Store) Insert(tableName string, row Row) error {
+	return s.InsertCtx(context.Background(), tableName, row)
+}
+
+// InsertCtx is Insert with trace attribution: a per-table op span plus a
+// WAL-append child when the store is durable.
+func (s *Store) InsertCtx(ctx context.Context, tableName string, row Row) error {
+	ctx, span := trace.Start(ctx, "relstore.insert")
+	if span != nil {
+		span.Annotate("table", tableName)
+	}
+	err := s.insertCtx(ctx, tableName, row)
+	span.EndErr(err)
+	return err
+}
+
+func (s *Store) insertCtx(ctx context.Context, tableName string, row Row) error {
 	s.countOp("insert", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyInsert(tableName, row); err != nil {
 		return err
 	}
-	return s.logOp(walOp{Kind: opInsert, Table: tableName, Row: row})
+	return s.logOpCtx(ctx, walOp{Kind: opInsert, Table: tableName, Row: row})
 }
 
 func (s *Store) applyInsert(tableName string, row Row) error {
@@ -281,13 +310,28 @@ func (s *Store) applyInsert(tableName string, row Row) error {
 // with ErrNotFound for absent rows; Gallery uses updates only for mutable
 // operational state such as deprecation flags and dependency pointers.
 func (s *Store) Update(tableName string, row Row) error {
+	return s.UpdateCtx(context.Background(), tableName, row)
+}
+
+// UpdateCtx is Update with trace attribution.
+func (s *Store) UpdateCtx(ctx context.Context, tableName string, row Row) error {
+	ctx, span := trace.Start(ctx, "relstore.update")
+	if span != nil {
+		span.Annotate("table", tableName)
+	}
+	err := s.updateCtx(ctx, tableName, row)
+	span.EndErr(err)
+	return err
+}
+
+func (s *Store) updateCtx(ctx context.Context, tableName string, row Row) error {
 	s.countOp("update", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyUpdate(tableName, row); err != nil {
 		return err
 	}
-	return s.logOp(walOp{Kind: opUpdate, Table: tableName, Row: row})
+	return s.logOpCtx(ctx, walOp{Kind: opUpdate, Table: tableName, Row: row})
 }
 
 func (s *Store) applyUpdate(tableName string, row Row) error {
@@ -311,13 +355,28 @@ func (s *Store) applyUpdate(tableName string, row Row) error {
 // Delete removes a row by primary key. Deleting an absent row fails with
 // ErrNotFound.
 func (s *Store) Delete(tableName, pk string) error {
+	return s.DeleteCtx(context.Background(), tableName, pk)
+}
+
+// DeleteCtx is Delete with trace attribution.
+func (s *Store) DeleteCtx(ctx context.Context, tableName, pk string) error {
+	ctx, span := trace.Start(ctx, "relstore.delete")
+	if span != nil {
+		span.Annotate("table", tableName)
+	}
+	err := s.deleteCtx(ctx, tableName, pk)
+	span.EndErr(err)
+	return err
+}
+
+func (s *Store) deleteCtx(ctx context.Context, tableName, pk string) error {
 	s.countOp("delete", tableName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.applyDelete(tableName, pk); err != nil {
 		return err
 	}
-	return s.logOp(walOp{Kind: opDelete, Table: tableName, PK: pk})
+	return s.logOpCtx(ctx, walOp{Kind: opDelete, Table: tableName, PK: pk})
 }
 
 func (s *Store) applyDelete(tableName, pk string) error {
@@ -378,6 +437,22 @@ const (
 // model-instance version together with the dependency-graph rows it bumps
 // (paper Figures 6–7).
 func (s *Store) Batch(muts []Mutation) error {
+	return s.BatchCtx(context.Background(), muts)
+}
+
+// BatchCtx is Batch with trace attribution: one span covering the whole
+// atomic group (annotated with its size) plus the WAL-append child.
+func (s *Store) BatchCtx(ctx context.Context, muts []Mutation) error {
+	ctx, span := trace.Start(ctx, "relstore.batch")
+	if span != nil {
+		span.AnnotateInt("mutations", int64(len(muts)))
+	}
+	err := s.batchCtx(ctx, muts)
+	span.EndErr(err)
+	return err
+}
+
+func (s *Store) batchCtx(ctx context.Context, muts []Mutation) error {
 	for _, m := range muts {
 		switch m.Kind {
 		case MutInsert:
@@ -413,7 +488,7 @@ func (s *Store) Batch(muts []Mutation) error {
 			return fmt.Errorf("relstore: batch apply after validation: %w", err)
 		}
 	}
-	return s.logOp(walOp{Kind: opBatch, Batch: ops})
+	return s.logOpCtx(ctx, walOp{Kind: opBatch, Batch: ops})
 }
 
 // validateBatch checks all mutations, tracking the batch's own inserts and
@@ -466,6 +541,22 @@ func (s *Store) validateBatch(muts []Mutation) error {
 
 // Get fetches a row copy by primary key.
 func (s *Store) Get(tableName, pk string) (Row, error) {
+	return s.GetCtx(context.Background(), tableName, pk)
+}
+
+// GetCtx is Get with trace attribution (a per-table read span when the
+// request is sampled; one nil check otherwise).
+func (s *Store) GetCtx(ctx context.Context, tableName, pk string) (Row, error) {
+	_, span := trace.Start(ctx, "relstore.get")
+	if span != nil {
+		span.Annotate("table", tableName)
+	}
+	row, err := s.get(tableName, pk)
+	span.EndErr(err)
+	return row, err
+}
+
+func (s *Store) get(tableName, pk string) (Row, error) {
 	s.countOp("get", tableName)
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"gallery/internal/core"
 	"gallery/internal/expr"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 	"gallery/internal/uuid"
 )
 
@@ -108,6 +110,10 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 }
 
 type job struct {
+	// ctx carries trace lineage from the triggering request; it is
+	// detached (trace.Detach) so the rule run is not cancelled when the
+	// HTTP request that inserted the metric returns.
+	ctx        context.Context
 	rule       *Rule
 	instanceID uuid.UUID
 }
@@ -175,7 +181,7 @@ func (e *Engine) Start(workers int) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for j := range jobs {
-				e.runActionRule(j.rule, j.instanceID)
+				e.runActionRule(j.ctx, j.rule, j.instanceID)
 				e.pending.Done()
 			}
 		}()
@@ -207,6 +213,13 @@ func (e *Engine) Flush() { e.pending.Wait() }
 // re-evaluated against that instance — asynchronously when the engine is
 // started, inline otherwise.
 func (e *Engine) MetricUpdated(instanceID uuid.UUID) {
+	e.MetricUpdatedCtx(context.Background(), instanceID)
+}
+
+// MetricUpdatedCtx is MetricUpdated carrying the triggering request's
+// trace lineage, so async rule evaluations show up as child spans of the
+// metric insert that caused them.
+func (e *Engine) MetricUpdatedCtx(ctx context.Context, instanceID uuid.UUID) {
 	e.mu.Lock()
 	e.stats.EventsTriggered++
 	e.mu.Unlock()
@@ -218,13 +231,18 @@ func (e *Engine) MetricUpdated(instanceID uuid.UUID) {
 		if !watches(rule, "metrics") {
 			continue
 		}
-		e.dispatch(rule, instanceID)
+		e.dispatch(ctx, rule, instanceID)
 	}
 }
 
 // MetadataUpdated notifies the engine that an instance's metadata changed;
 // action rules watching any of the named fields re-evaluate.
 func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {
+	e.MetadataUpdatedCtx(context.Background(), instanceID, fields...)
+}
+
+// MetadataUpdatedCtx is MetadataUpdated with trace lineage.
+func (e *Engine) MetadataUpdatedCtx(ctx context.Context, instanceID uuid.UUID, fields ...string) {
 	e.mu.Lock()
 	e.stats.EventsTriggered++
 	e.mu.Unlock()
@@ -241,7 +259,7 @@ func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {
 			}
 		}
 		if hit {
-			e.dispatch(rule, instanceID)
+			e.dispatch(ctx, rule, instanceID)
 		}
 	}
 }
@@ -255,7 +273,7 @@ func watches(rule *Rule, field string) bool {
 	return false
 }
 
-func (e *Engine) dispatch(rule *Rule, instanceID uuid.UUID) {
+func (e *Engine) dispatch(ctx context.Context, rule *Rule, instanceID uuid.UUID) {
 	e.mu.Lock()
 	started, jobs := e.started, e.jobs
 	if started {
@@ -263,10 +281,10 @@ func (e *Engine) dispatch(rule *Rule, instanceID uuid.UUID) {
 	}
 	e.mu.Unlock()
 	if started {
-		jobs <- job{rule: rule, instanceID: instanceID}
+		jobs <- job{ctx: trace.Detach(ctx), rule: rule, instanceID: instanceID}
 		return
 	}
-	e.runActionRule(rule, instanceID)
+	e.runActionRule(ctx, rule, instanceID)
 }
 
 func (e *Engine) inScope(rule *Rule) bool {
@@ -277,11 +295,20 @@ func (e *Engine) inScope(rule *Rule) bool {
 // its callbacks when the condition holds. Evaluation errors (e.g. a rule
 // referencing a metric the instance has not reported) mean "condition not
 // met", surfaced as a log alert rather than a crash.
-func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
-	env, in, err := e.instanceEnv(instanceID)
+func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.UUID) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := trace.Start(ctx, "rules.evaluate")
+	if span != nil {
+		span.Annotate("rule", rule.UUID)
+		span.Annotate("instance", instanceID.String())
+	}
+	env, in, err := e.instanceEnv(ctx, instanceID)
 	if err != nil {
 		e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 			Action: "engine", Message: "environment build failed: " + err.Error()})
+		span.EndErr(err)
 		return
 	}
 	ok, evalErr := e.condition(rule, env)
@@ -295,19 +322,26 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 	if ok {
 		e.mx.matches.Inc()
 	}
+	if span != nil {
+		span.Annotate("matched", fmt.Sprintf("%t", ok))
+	}
 	if evalErr != nil {
 		var ee *expr.EvalError
 		if !errors.As(evalErr, &ee) {
 			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 				Action: "engine", Message: "condition error: " + evalErr.Error()})
+			span.EndErr(evalErr)
+			return
 		}
+		span.End()
 		return
 	}
 	if !ok {
+		span.End()
 		return
 	}
 	metrics, _ := env.Vars["metrics"].(map[string]any)
-	ctx := &ActionContext{
+	ac := &ActionContext{
 		Rule:     rule,
 		Instance: in,
 		Metrics:  toFloatMap(metrics),
@@ -317,7 +351,11 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 		e.mu.Lock()
 		a, known := e.actions[ref.Action]
 		e.mu.Unlock()
-		ctx.Params = ref.Params
+		ac.Params = ref.Params
+		_, aspan := trace.Start(ctx, "rules.action")
+		if aspan != nil {
+			aspan.Annotate("action", ref.Action)
+		}
 		if !known {
 			e.mu.Lock()
 			e.stats.ActionErrors++
@@ -325,9 +363,12 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 			e.mx.actionErrors.Inc()
 			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 				Action: ref.Action, Message: "unknown action"})
+			aspan.Fail("unknown action")
+			aspan.End()
 			continue
 		}
-		err := a(ctx)
+		err := a(ac)
+		aspan.EndErr(err)
 		e.mu.Lock()
 		e.stats.ActionsRun++
 		if err != nil {
@@ -343,6 +384,7 @@ func (e *Engine) runActionRule(rule *Rule, instanceID uuid.UUID) {
 				Action: ref.Action, Message: "action failed: " + err.Error()})
 		}
 	}
+	span.End()
 }
 
 // condition evaluates given && when against env.
@@ -401,7 +443,7 @@ func (e *Engine) SelectModel(ruleID string, filter core.InstanceFilter) (*core.I
 	var best *core.Instance
 	var bestEnv map[string]any
 	for _, c := range candidates {
-		env, _, err := e.instanceEnv(c.ID)
+		env, _, err := e.instanceEnv(context.Background(), c.ID)
 		if err != nil {
 			continue
 		}
@@ -443,8 +485,8 @@ func (e *Engine) SelectModel(ruleID string, filter core.InstanceFilter) (*core.I
 // metadata fields plus the latest metrics across scopes (later lifecycle
 // stages override earlier ones, so metrics.mape means the freshest,
 // most production-like measurement).
-func (e *Engine) instanceEnv(instanceID uuid.UUID) (*expr.Env, *core.Instance, error) {
-	in, err := e.reg.GetInstance(instanceID)
+func (e *Engine) instanceEnv(ctx context.Context, instanceID uuid.UUID) (*expr.Env, *core.Instance, error) {
+	in, err := e.reg.GetInstanceCtx(ctx, instanceID)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -156,7 +157,17 @@ func (b *batcher) run() {
 		for _, r := range batch {
 			ctxs = append(ctxs, r.fctx)
 		}
+		// A drained batch mixes requests from many traces, so it cannot be
+		// a child of any one of them; when tracing is on it gets a trace of
+		// its own recording the batch it amortized. Nil tracer or sampled-
+		// out → nil span → no cost.
+		_, bspan := b.g.tracer.StartLocal(context.Background(), "serve.batch_drain")
+		if bspan != nil {
+			bspan.Annotate("model", b.e.modelID)
+			bspan.AnnotateInt("batch_size", int64(len(batch)))
+		}
 		forecast.ForecastAll(srv.learner, ctxs, outs[:len(batch)])
+		bspan.End()
 		b.g.mx.batchSize.Observe(float64(len(batch)))
 		for i, r := range batch {
 			r.val = outs[i]

@@ -20,6 +20,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"gallery/internal/api"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
+	"gallery/internal/obs/trace"
 )
 
 // ErrClosed reports a request arriving after Close.
@@ -41,6 +43,15 @@ type Source interface {
 	ProductionVersion(modelID string) (api.VersionRecord, error)
 	// FetchBlob downloads an instance's serialized learner bytes.
 	FetchBlob(instanceID string) ([]byte, error)
+}
+
+// ctxSource is the optional trace-propagating extension of Source.
+// *client.Client implements it; when the source does, gateway loads carry
+// the caller's trace context across the wire to galleryd, so one predict
+// request shows up as one trace spanning both processes.
+type ctxSource interface {
+	ProductionVersionCtx(ctx context.Context, modelID string) (api.VersionRecord, error)
+	FetchBlobCtx(ctx context.Context, instanceID string) ([]byte, error)
 }
 
 // Options tunes a Gateway.
@@ -65,6 +76,10 @@ type Options struct {
 	Loader *forecast.Loader
 	// Obs receives gateway metrics; nil uses obs.Default.
 	Obs *obs.Registry
+	// Tracer, when set, lets background gateway work (hot-swap refreshes,
+	// batch drains) start traces of its own, subject to its sampler.
+	// Request traces do not need it — they ride the caller's context.
+	Tracer *trace.Tracer
 }
 
 // served is one immutable loaded-model snapshot. Swaps replace the whole
@@ -100,6 +115,7 @@ type Gateway struct {
 	opts   Options
 	loader *forecast.Loader
 	obs    *obs.Registry
+	tracer *trace.Tracer // may be nil; every use is nil-safe
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -152,6 +168,7 @@ func New(src Source, opts Options) *Gateway {
 		opts:    opts,
 		loader:  opts.Loader,
 		obs:     opts.Obs,
+		tracer:  opts.Tracer,
 		entries: make(map[string]*entry),
 		ll:      list.New(),
 		done:    make(chan struct{}),
@@ -187,10 +204,27 @@ func (g *Gateway) Close() {
 // Predict answers one forecast query from modelID's production instance,
 // loading it on first use.
 func (g *Gateway) Predict(modelID string, fctx forecast.Context) (api.PredictResponse, error) {
+	return g.PredictCtx(context.Background(), modelID, fctx)
+}
+
+// PredictCtx is Predict with trace attribution. When the caller's context
+// carries a span, a "serve.predict" child records whether the model was
+// resident (cache=hit), mid-load by another request (coalesced), or
+// loaded by this one (miss), and the load's Gallery calls propagate the
+// trace to galleryd. With no span in ctx the path is allocation-free.
+func (g *Gateway) PredictCtx(ctx context.Context, modelID string, fctx forecast.Context) (api.PredictResponse, error) {
 	start := time.Now()
-	e, err := g.entry(modelID)
+	ctx, span := trace.Start(ctx, "serve.predict")
+	if span != nil {
+		span.Annotate("model", modelID)
+	}
+	e, cache, err := g.entry(ctx, modelID)
+	if span != nil {
+		span.Annotate("cache", cache)
+	}
 	if err != nil {
 		g.mx.predictErrs.Inc()
+		span.EndErr(err)
 		return api.PredictResponse{}, err
 	}
 	var (
@@ -201,6 +235,7 @@ func (g *Gateway) Predict(modelID string, fctx forecast.Context) (api.PredictRes
 		value, srv, err = e.batch.predict(fctx)
 		if err != nil {
 			g.mx.predictErrs.Inc()
+			span.EndErr(err)
 			return api.PredictResponse{}, err
 		}
 	} else {
@@ -212,7 +247,8 @@ func (g *Gateway) Predict(modelID string, fctx forecast.Context) (api.PredictRes
 	if stale {
 		g.mx.stale.Inc()
 	}
-	g.mx.latency.ObserveSince(start)
+	g.mx.latency.ObserveSinceExemplar(start, span.TraceIDString())
+	span.End()
 	return api.PredictResponse{
 		ModelID:    modelID,
 		InstanceID: srv.version.InstanceID,
@@ -226,21 +262,29 @@ func (g *Gateway) Predict(modelID string, fctx forecast.Context) (api.PredictRes
 
 // entry returns the (loaded) slot for modelID, creating and loading it if
 // new. Exactly one goroutine performs a given model's load; the rest wait.
-func (g *Gateway) entry(modelID string) (*entry, error) {
+// The second return reports how the slot was found: "hit", "coalesced"
+// (another request's load was in flight), or "miss".
+func (g *Gateway) entry(ctx context.Context, modelID string) (*entry, string, error) {
 	g.mu.Lock()
 	if e, ok := g.entries[modelID]; ok {
 		g.ll.MoveToFront(e.el)
 		g.mu.Unlock()
-		<-e.ready
-		if e.loadErr != nil {
-			return nil, e.loadErr
+		cache := "hit"
+		select {
+		case <-e.ready:
+		default:
+			cache = "coalesced"
+			<-e.ready
 		}
-		return e, nil
+		if e.loadErr != nil {
+			return nil, cache, e.loadErr
+		}
+		return e, cache, nil
 	}
 	select {
 	case <-g.done:
 		g.mu.Unlock()
-		return nil, ErrClosed
+		return nil, "miss", ErrClosed
 	default:
 	}
 	e := &entry{modelID: modelID, ready: make(chan struct{})}
@@ -274,7 +318,7 @@ func (g *Gateway) entry(modelID string) (*entry, error) {
 
 	// Load outside the lock: the fetch can take a while and must not
 	// block predictions on other models.
-	srv, err := g.load(modelID)
+	srv, err := g.load(ctx, modelID)
 	if err != nil {
 		g.mx.loadErrs.Inc()
 		e.loadErr = err
@@ -287,7 +331,7 @@ func (g *Gateway) entry(modelID string) (*entry, error) {
 			g.mx.loadedModels.Set(float64(len(g.entries)))
 		}
 		g.mu.Unlock()
-		return nil, err
+		return nil, "miss", err
 	}
 	e.cur.Store(srv)
 	if g.opts.MaxBatch > 1 {
@@ -296,25 +340,52 @@ func (g *Gateway) entry(modelID string) (*entry, error) {
 	close(e.ready)
 	g.mx.loads.Inc()
 	g.setVersionGauge(e, &srv.version)
-	return e, nil
+	return e, "miss", nil
+}
+
+// productionVersion resolves a model's promoted version, propagating the
+// trace when the source supports it.
+func (g *Gateway) productionVersion(ctx context.Context, modelID string) (api.VersionRecord, error) {
+	if cs, ok := g.src.(ctxSource); ok {
+		return cs.ProductionVersionCtx(ctx, modelID)
+	}
+	return g.src.ProductionVersion(modelID)
+}
+
+// fetchBlob downloads an instance blob, propagating the trace when the
+// source supports it.
+func (g *Gateway) fetchBlob(ctx context.Context, instanceID string) ([]byte, error) {
+	if cs, ok := g.src.(ctxSource); ok {
+		return cs.FetchBlobCtx(ctx, instanceID)
+	}
+	return g.src.FetchBlob(instanceID)
 }
 
 // load resolves a model's production pointer to a deserialized learner.
-func (g *Gateway) load(modelID string) (*served, error) {
-	v, err := g.src.ProductionVersion(modelID)
+func (g *Gateway) load(ctx context.Context, modelID string) (srv *served, err error) {
+	ctx, span := trace.Start(ctx, "serve.load")
+	if span != nil {
+		span.Annotate("model", modelID)
+		defer func() { span.EndErr(err) }()
+	}
+	v, err := g.productionVersion(ctx, modelID)
 	if err != nil {
 		return nil, fmt.Errorf("serve: production version of model %s: %w", modelID, err)
 	}
 	if v.InstanceID == "" {
 		return nil, fmt.Errorf("serve: production version %s of model %s carries no instance", v.ID, modelID)
 	}
-	blob, err := g.src.FetchBlob(v.InstanceID)
+	blob, err := g.fetchBlob(ctx, v.InstanceID)
 	if err != nil {
 		return nil, fmt.Errorf("serve: fetch blob of instance %s: %w", v.InstanceID, err)
 	}
 	learner, err := g.loader.Load(blob)
 	if err != nil {
 		return nil, fmt.Errorf("serve: instance %s: %w", v.InstanceID, err)
+	}
+	if span != nil {
+		span.AnnotateInt("blob_bytes", int64(len(blob)))
+		span.Annotate("learner", learner.Name())
 	}
 	return &served{
 		learner:  learner,
@@ -362,35 +433,51 @@ func (g *Gateway) RefreshAll() {
 }
 
 // refresh re-checks one model. Any failure leaves the current learner
-// serving and marks the model stale — degradation, not an outage.
+// serving and marks the model stale — degradation, not an outage. When the
+// gateway has a tracer, each refresh may start a trace of its own (no
+// inbound request exists to ride), so hot swaps are attributable end to
+// end: the swap's Gallery calls carry the trace to galleryd.
 func (g *Gateway) refresh(e *entry) {
+	ctx, span := g.tracer.StartLocal(context.Background(), "serve.refresh")
+	if span != nil {
+		span.Annotate("model", e.modelID)
+	}
 	g.mx.refreshes.Inc()
-	v, err := g.src.ProductionVersion(e.modelID)
+	v, err := g.productionVersion(ctx, e.modelID)
 	if err != nil {
 		e.stale.Store(true)
 		g.mx.refreshErrs.Inc()
+		span.EndErr(err)
 		return
 	}
 	cur := e.cur.Load()
 	if cur != nil && cur.version.ID == v.ID {
 		e.stale.Store(false)
+		if span != nil {
+			span.Annotate("swap", "false")
+		}
+		span.End()
 		return
 	}
 	if v.InstanceID == "" {
 		e.stale.Store(true)
 		g.mx.refreshErrs.Inc()
+		span.Fail("production version carries no instance")
+		span.End()
 		return
 	}
-	blob, err := g.src.FetchBlob(v.InstanceID)
+	blob, err := g.fetchBlob(ctx, v.InstanceID)
 	if err != nil {
 		e.stale.Store(true)
 		g.mx.refreshErrs.Inc()
+		span.EndErr(err)
 		return
 	}
 	learner, err := g.loader.Load(blob)
 	if err != nil {
 		e.stale.Store(true)
 		g.mx.refreshErrs.Inc()
+		span.EndErr(err)
 		return
 	}
 	e.cur.Store(&served{
@@ -403,6 +490,11 @@ func (g *Gateway) refresh(e *entry) {
 	e.stale.Store(false)
 	g.mx.swaps.Inc()
 	g.setVersionGauge(e, &v)
+	if span != nil {
+		span.Annotate("swap", "true")
+		span.Annotate("version", v.Version)
+	}
+	span.End()
 }
 
 // setVersionGauge publishes which version a model serves, encoded as

@@ -6,22 +6,28 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"time"
 
 	"gallery/internal/api"
 	"gallery/internal/client"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
+	"gallery/internal/obs/httpmw"
+	"gallery/internal/obs/trace"
 )
 
 // Handler is the gateway's HTTP face. Like internal/server it speaks JSON
-// and routes through an observability middleware, but its surface is tiny:
-// predictions, serving status, metrics, health.
+// and routes through the shared observability middleware (obs/httpmw), so
+// one /v1/debug/metrics scrape covers both tiers with identical metric
+// names — per-route counters, latency with slow-trace exemplars, and
+// request/response body-size histograms.
 type Handler struct {
 	gw        *Gateway
 	mux       *http.ServeMux
 	obs       *obs.Registry
 	accessLog *slog.Logger
+	tracer    *trace.Tracer
+	pprof     bool
+	h         http.Handler
 }
 
 // HandlerOption customizes a Handler.
@@ -32,43 +38,50 @@ func WithAccessLog(l *slog.Logger) HandlerOption {
 	return func(h *Handler) { h.accessLog = l }
 }
 
+// WithTracer attaches a tracer: requests become (sampled) traces, the
+// traceparent header is honored, and GET /v1/debug/traces serves the
+// local completed-trace buffer.
+func WithTracer(t *trace.Tracer) HandlerOption {
+	return func(h *Handler) { h.tracer = t }
+}
+
+// WithPprof mounts net/http/pprof under /v1/debug/pprof/. Off by default:
+// profiles expose memory contents, so operators opt in per process.
+func WithPprof() HandlerOption {
+	return func(h *Handler) { h.pprof = true }
+}
+
 // NewHandler wraps a Gateway in its HTTP API.
 func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	h := &Handler{gw: gw, mux: http.NewServeMux(), obs: gw.obs}
 	for _, o := range opts {
 		o(h)
 	}
+	if h.tracer == nil {
+		h.tracer = gw.tracer
+	}
 	h.mux.HandleFunc("POST /v1/predict/{model}", h.handlePredict)
 	h.mux.HandleFunc("GET /v1/serving", h.handleServing)
 	h.mux.HandleFunc("GET /v1/debug/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
+	if h.tracer != nil {
+		h.mux.HandleFunc("GET /v1/debug/traces", h.handleListTraces)
+		h.mux.HandleFunc("GET /v1/debug/traces/{id}", h.handleGetTrace)
+	}
+	if h.pprof {
+		httpmw.RegisterPprof(h.mux)
+	}
+	h.h = httpmw.Wrap(h.mux, httpmw.Options{
+		Obs:       h.obs,
+		AccessLog: h.accessLog,
+		Tracer:    h.tracer,
+	})
 	return h
 }
 
-// ServeHTTP implements http.Handler with the same per-route metrics the
-// core server emits, so one /v1/debug/metrics scrape covers both tiers.
+// ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	h.mux.ServeHTTP(rec, r)
-
-	route := r.Pattern
-	if route == "" {
-		route = "unmatched"
-	}
-	elapsed := time.Since(start)
-	h.obs.Counter(obs.Name("http_requests_total", "route", route, "status", statusClass(rec.status))).Inc()
-	h.obs.Histogram(obs.Name("http_request_seconds", "route", route), obs.LatencyBuckets).
-		Observe(elapsed.Seconds())
-	if h.accessLog != nil {
-		h.accessLog.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"route", route,
-			"status", rec.status,
-			"dur_ms", float64(elapsed.Microseconds())/1000,
-		)
-	}
+	h.h.ServeHTTP(w, r)
 }
 
 func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -88,7 +101,7 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 				len(req.HistoryEvents), len(req.History)))
 		return
 	}
-	resp, err := h.gw.Predict(modelID, forecast.Context{
+	resp, err := h.gw.PredictCtx(r.Context(), modelID, forecast.Context{
 		History:       req.History,
 		Time:          req.Time,
 		Event:         req.Event,
@@ -112,6 +125,30 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeServeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if s := r.URL.Query().Get("limit"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &limit); err != nil || limit <= 0 {
+			writeServeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", s))
+			return
+		}
+	}
+	st := h.tracer.Store()
+	writeServeJSON(w, http.StatusOK, map[string]any{
+		"stats":  st.Stats(),
+		"traces": st.Summaries(limit),
+	})
+}
+
+func (h *Handler) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.tracer.Store().Get(r.PathValue("id"))
+	if !ok {
+		writeServeErr(w, http.StatusNotFound, fmt.Errorf("no trace %s", r.PathValue("id")))
+		return
+	}
+	writeServeJSON(w, http.StatusOK, d)
 }
 
 // predictStatus maps a load/predict error onto a status code. Gallery's
@@ -140,41 +177,4 @@ func writeServeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeServeErr(w http.ResponseWriter, status int, err error) {
 	writeServeJSON(w, status, api.Error{Error: err.Error()})
-}
-
-// statusRecorder and statusClass mirror internal/server's middleware; the
-// packages stay independent so the gateway binary does not link the whole
-// registry server.
-type statusRecorder struct {
-	http.ResponseWriter
-	status      int
-	wroteHeader bool
-}
-
-func (w *statusRecorder) WriteHeader(code int) {
-	if !w.wroteHeader {
-		w.status = code
-		w.wroteHeader = true
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusRecorder) Write(p []byte) (int, error) {
-	if !w.wroteHeader {
-		w.wroteHeader = true
-	}
-	return w.ResponseWriter.Write(p)
-}
-
-func statusClass(code int) string {
-	switch {
-	case code >= 500:
-		return "5xx"
-	case code >= 400:
-		return "4xx"
-	case code >= 300:
-		return "3xx"
-	default:
-		return "2xx"
-	}
 }

@@ -2,96 +2,14 @@ package server
 
 import (
 	"net/http"
-	"time"
-
-	"gallery/internal/obs"
 )
 
-// statusRecorder captures the status code and body size a handler writes,
-// for metrics and the access log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status      int
-	bytes       int64
-	wroteHeader bool
-}
-
-func (w *statusRecorder) WriteHeader(code int) {
-	if !w.wroteHeader {
-		w.status = code
-		w.wroteHeader = true
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusRecorder) Write(p []byte) (int, error) {
-	if !w.wroteHeader {
-		w.wroteHeader = true // implicit 200
-	}
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += int64(n)
-	return n, err
-}
-
-// Flush forwards to the underlying writer so streaming handlers keep
-// working through the recorder.
-func (w *statusRecorder) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// statusClass folds a status code into its class label ("2xx", "4xx", ...).
-func statusClass(code int) string {
-	switch {
-	case code >= 500:
-		return "5xx"
-	case code >= 400:
-		return "4xx"
-	case code >= 300:
-		return "3xx"
-	default:
-		return "2xx"
-	}
-}
-
 // ServeHTTP implements http.Handler. Every request flows through the
-// observability middleware: per-route request counters by status class,
-// latency and body-size histograms, and one structured access-log line.
-// The route label is the ServeMux pattern that matched (bounded
-// cardinality), never the raw URL.
+// shared observability middleware (internal/obs/httpmw): per-route request
+// counters by status class, latency and body-size histograms with
+// slow-trace exemplars, root-span start/end from the incoming traceparent,
+// and one structured access-log line. The route label is the ServeMux
+// pattern that matched (bounded cardinality), never the raw URL.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
-
-	route := r.Pattern
-	if route == "" {
-		route = "unmatched"
-	}
-	elapsed := time.Since(start)
-	class := statusClass(rec.status)
-
-	s.obs.Counter(obs.Name("http_requests_total", "route", route, "status", class)).Inc()
-	s.obs.Histogram(obs.Name("http_request_seconds", "route", route), obs.LatencyBuckets).
-		Observe(elapsed.Seconds())
-	s.allLatency.Observe(elapsed.Seconds())
-	if r.ContentLength > 0 {
-		s.obs.Histogram(obs.Name("http_request_bytes", "route", route), obs.SizeBuckets).
-			Observe(float64(r.ContentLength))
-	}
-	s.obs.Histogram(obs.Name("http_response_bytes", "route", route), obs.SizeBuckets).
-		Observe(float64(rec.bytes))
-
-	if s.accessLog != nil {
-		s.accessLog.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"route", route,
-			"status", rec.status,
-			"bytes", rec.bytes,
-			"dur_ms", float64(elapsed.Microseconds())/1000,
-			"remote", r.RemoteAddr,
-		)
-	}
+	s.h.ServeHTTP(w, r)
 }

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,8 @@ import (
 	"gallery/internal/api"
 	"gallery/internal/core"
 	"gallery/internal/obs"
+	"gallery/internal/obs/httpmw"
+	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/uuid"
@@ -40,6 +43,13 @@ type Options struct {
 	// EventQueue bounds the rule-engine dispatch queue (default 1024).
 	// Metric events beyond the bound are dropped and counted.
 	EventQueue int
+	// Tracer records request traces. nil builds a local tracer with the
+	// Never sampler — the debug endpoints still serve (and ingest spans
+	// shipped by tracing peers), but no local request starts a trace.
+	Tracer *trace.Tracer
+	// Pprof mounts net/http/pprof under /v1/debug/pprof/ (off by default:
+	// profiling endpoints expose stacks and should be opted into).
+	Pprof bool
 }
 
 // Server wires HTTP routes to the registry and rule engine.
@@ -48,9 +58,11 @@ type Server struct {
 	repo   *rules.Repo
 	engine *rules.Engine
 	mux    *http.ServeMux
+	h      http.Handler // mux behind the shared observability middleware
 
 	obs        *obs.Registry
 	accessLog  *slog.Logger
+	tracer     *trace.Tracer
 	maxBody    int64
 	allLatency *obs.Histogram // route-less latency; headline p50/p95 for /v1/stats
 
@@ -61,10 +73,18 @@ type Server struct {
 	// Rule-engine dispatch queue: metric-update events leave the request
 	// path here and are replayed into the engine by a single goroutine,
 	// keeping the engine's own serialization.
-	events    chan uuid.UUID
+	events    chan metricEvent
 	eventWG   sync.WaitGroup
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// metricEvent pairs a metric update with the detached trace context of the
+// request that caused it, so asynchronous rule evaluation shows up as late
+// spans of the same trace.
+type metricEvent struct {
+	ctx context.Context
+	id  uuid.UUID
 }
 
 // New builds a Server with default Options. The engine may be nil for
@@ -85,6 +105,10 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 	if opts.EventQueue <= 0 {
 		opts.EventQueue = 1024
 	}
+	if opts.Tracer == nil {
+		opts.Tracer = trace.New(trace.Options{Service: "galleryd"})
+	}
+	obs.RegisterRuntime(opts.Obs)
 	s := &Server{
 		reg:    reg,
 		repo:   repo,
@@ -92,19 +116,29 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 		mux:    http.NewServeMux(),
 
 		obs:            opts.Obs,
+		tracer:         opts.Tracer,
 		maxBody:        opts.MaxBodyBytes,
 		allLatency:     opts.Obs.Histogram("http_request_seconds_all", obs.LatencyBuckets),
 		cDispatched:    opts.Obs.Counter("server_engine_dispatch_total"),
 		cDropped:       opts.Obs.Counter("server_engine_dispatch_dropped_total"),
 		cBlobWriteErrs: opts.Obs.Counter("server_blob_write_errors_total"),
 
-		events: make(chan uuid.UUID, opts.EventQueue),
+		events: make(chan metricEvent, opts.EventQueue),
 		done:   make(chan struct{}),
 	}
 	if opts.AccessLog != nil {
 		s.accessLog = slog.New(slog.NewJSONHandler(opts.AccessLog, nil))
 	}
 	s.routes()
+	if opts.Pprof {
+		httpmw.RegisterPprof(s.mux)
+	}
+	s.h = httpmw.Wrap(s.mux, httpmw.Options{
+		Obs:        s.obs,
+		AccessLog:  s.accessLog,
+		Tracer:     s.tracer,
+		AllLatency: s.allLatency,
+	})
 	go s.eventLoop()
 	return s
 }
@@ -114,6 +148,13 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 // dropped (and counted): rule re-evaluation is best-effort and a later
 // metric write re-triggers it.
 func (s *Server) notifyMetricUpdated(id uuid.UUID) {
+	s.notifyMetricUpdatedCtx(context.Background(), id)
+}
+
+// notifyMetricUpdatedCtx is notifyMetricUpdated carrying the request's
+// trace span (detached: the span link survives the response, request
+// cancellation does not) into the rule engine.
+func (s *Server) notifyMetricUpdatedCtx(ctx context.Context, id uuid.UUID) {
 	if s.engine == nil {
 		return
 	}
@@ -125,7 +166,7 @@ func (s *Server) notifyMetricUpdated(id uuid.UUID) {
 	}
 	s.eventWG.Add(1)
 	select {
-	case s.events <- id:
+	case s.events <- metricEvent{ctx: trace.Detach(ctx), id: id}:
 		s.cDispatched.Inc()
 	default:
 		s.eventWG.Done()
@@ -138,14 +179,14 @@ func (s *Server) notifyMetricUpdated(id uuid.UUID) {
 func (s *Server) eventLoop() {
 	for {
 		select {
-		case id := <-s.events:
-			s.engine.MetricUpdated(id)
+		case ev := <-s.events:
+			s.engine.MetricUpdatedCtx(ev.ctx, ev.id)
 			s.eventWG.Done()
 		case <-s.done:
 			for {
 				select {
-				case id := <-s.events:
-					s.engine.MetricUpdated(id)
+				case ev := <-s.events:
+					s.engine.MetricUpdatedCtx(ev.ctx, ev.id)
 					s.eventWG.Done()
 				default:
 					return
@@ -204,6 +245,9 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
 	m.HandleFunc("GET /v1/stats", s.handleStats)
 	m.HandleFunc("GET /v1/debug/metrics", s.handleDebugMetrics)
+	m.HandleFunc("GET /v1/debug/traces", s.handleListTraces)
+	m.HandleFunc("GET /v1/debug/traces/{id}", s.handleGetTrace)
+	m.HandleFunc("POST /v1/debug/traces", s.handleIngestTraces)
 
 	m.HandleFunc("POST /v1/rules", s.handleCommitRules)
 	m.HandleFunc("GET /v1/rules", s.handleListRules)
@@ -389,7 +433,7 @@ func (s *Server) handleProductionVersion(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	v, err := s.reg.ProductionVersion(id)
+	v, err := s.reg.ProductionVersionCtx(r.Context(), id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -516,7 +560,7 @@ func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	in, err := s.reg.GetInstance(id)
+	in, err := s.reg.GetInstanceCtx(r.Context(), id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -530,7 +574,7 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	data, err := s.reg.FetchBlob(id)
+	data, err := s.reg.FetchBlobCtx(r.Context(), id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -595,7 +639,7 @@ func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 	}
 	// Metric updates are rule-engine events (paper Fig. 8, Client 2),
 	// dispatched off the request path.
-	s.notifyMetricUpdated(id)
+	s.notifyMetricUpdatedCtx(r.Context(), id)
 	writeJSON(w, http.StatusCreated, metricDTO(m))
 }
 
@@ -614,7 +658,7 @@ func (s *Server) handleInsertMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.notifyMetricUpdated(id)
+	s.notifyMetricUpdatedCtx(r.Context(), id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -718,7 +762,7 @@ func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	s.notifyMetricUpdated(id)
+	s.notifyMetricUpdatedCtx(r.Context(), id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"gallery/internal/core"
+	"gallery/internal/obs/trace"
+)
+
+// maxIngestBytes bounds a cross-process span shipment. Traces are small
+// (dozens of spans, short attrs); anything near this is abuse.
+const maxIngestBytes = 4 << 20
+
+// handleListTraces serves the completed-trace summaries, newest first.
+// ?limit=N bounds the list (default 50).
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: bad limit %q", core.ErrBadSpec, q))
+			return
+		}
+		limit = n
+	}
+	store := s.tracer.Store()
+	writeJSON(w, http.StatusOK, struct {
+		Stats  trace.Stats     `json:"stats"`
+		Traces []trace.Summary `json:"traces"`
+	}{store.Stats(), store.Summaries(limit)})
+}
+
+// handleGetTrace renders one trace as a span tree with per-span self-time.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	detail, ok := s.tracer.Store().Get(id)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: trace %s not in buffer", core.ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleIngestTraces accepts spans shipped by a tracing peer (the serving
+// gateway's exporter), merging them into this process's buffer so one
+// request's spans from both processes read as a single trace.
+func (s *Server) handleIngestTraces(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req trace.IngestRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, fmt.Errorf("%w: decode spans: %v", core.ErrBadSpec, err))
+		return
+	}
+	s.tracer.Store().Ingest(req.Spans)
+	w.WriteHeader(http.StatusNoContent)
+}
