@@ -158,6 +158,19 @@ func main() {
 			}
 			return res.Format(), nil
 		}},
+		{"onlinedrift", "E19 (extension) / §3.6 — continuous health: serving sketches to online drift detection", func() (string, error) {
+			res, err := experiments.OnlineDrift(4, 4)
+			if err != nil {
+				return "", err
+			}
+			if res.DegradedAt == 0 {
+				return "", fmt.Errorf("onlinedrift: monitor never flipped to degraded")
+			}
+			if res.RetrainFired == 0 {
+				return "", fmt.Errorf("onlinedrift: retrain rule never fired")
+			}
+			return res.Format(), nil
+		}},
 		{"tiered", "E15 / §6.3 — tiered service offering", func() (string, error) {
 			rs, err := experiments.TieredOnboarding()
 			if err != nil {

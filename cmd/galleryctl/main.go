@@ -24,7 +24,7 @@
 //	rules     [-commit FILE... | -list]
 //	select    -rule UUID
 //	drift     -instance UUID -metric N
-//	health    -project P [-metric N]
+//	health    [-project P [-metric N]] | [-model UUID] [-json] [-watch [-every D]]
 //	stats
 //	metrics
 //	traces    [-limit N | -id TRACE_ID] [-json]
@@ -38,6 +38,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"gallery/internal/api"
 	"gallery/internal/client"
@@ -293,15 +295,74 @@ func cmdSelect(c *client.Client, args []string) error {
 	return dump(c.SelectModel(*rule, api.SearchRequest{Constraints: cs}))
 }
 
+// cmdHealth has two modes. With -project it runs the on-demand fleet
+// sweep (drift/skew checks over stored metrics). Without it, it reads the
+// continuous health monitor's live verdicts from /v1/health/models —
+// optionally one model, as JSON, or repainted on an interval with -watch.
 func cmdHealth(c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
-	project := fs.String("project", "", "project to sweep (required)")
-	metric := fs.String("metric", "mape", "error metric for drift/skew checks")
-	limit := fs.Int("limit", 0, "max instances to sweep")
+	project := fs.String("project", "", "fleet mode: project to sweep with on-demand checks")
+	metric := fs.String("metric", "mape", "fleet mode: error metric for drift/skew checks")
+	limit := fs.Int("limit", 0, "fleet mode: max instances to sweep")
+	model := fs.String("model", "", "live mode: show one model's verdict")
+	jsonOut := fs.Bool("json", false, "live mode: print raw JSON instead of the table")
+	watch := fs.Bool("watch", false, "live mode: repaint every -every until interrupted")
+	every := fs.Duration("every", 5*time.Second, "poll period for -watch")
 	fs.Parse(args)
-	return dump(c.CheckFleetHealth(api.FleetHealthRequest{
-		Project: *project, Metric: *metric, Limit: *limit,
-	}))
+	if *project != "" {
+		return dump(c.CheckFleetHealth(api.FleetHealthRequest{
+			Project: *project, Metric: *metric, Limit: *limit,
+		}))
+	}
+	show := func() error {
+		var list []api.ModelHealth
+		if *model != "" {
+			mh, err := c.ModelHealth(*model)
+			if err != nil {
+				return err
+			}
+			list = []api.ModelHealth{mh}
+		} else {
+			var err error
+			if list, err = c.ListModelHealth(); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			return dump(list, nil)
+		}
+		printModelHealth(list)
+		return nil
+	}
+	if !*watch {
+		return show()
+	}
+	for {
+		fmt.Printf("--- %s ---\n", time.Now().Format(time.RFC3339))
+		if err := show(); err != nil {
+			return err
+		}
+		time.Sleep(*every)
+	}
+}
+
+func printModelHealth(list []api.ModelHealth) {
+	if len(list) == 0 {
+		fmt.Println("no models under health monitoring")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "MODEL\tSTATUS\tPSI\tREQS\tSTALE\tP95_MS\tLAST_SEEN\tREASONS")
+	for _, mh := range list {
+		last := ""
+		if !mh.LastSeen.IsZero() {
+			last = mh.LastSeen.UTC().Format("2006-01-02T15:04:05Z")
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%d\t%d\t%.1f\t%s\t%s\n",
+			mh.ModelID, mh.Status, mh.PSI, mh.Requests, mh.StaleServes,
+			mh.LatencyP95MS, last, strings.Join(mh.Reasons, "; "))
+	}
+	w.Flush()
 }
 
 // cmdMetrics dumps the server's full metric registry snapshot — the same

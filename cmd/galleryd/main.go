@@ -28,6 +28,7 @@ import (
 
 	"gallery/internal/blobstore"
 	"gallery/internal/core"
+	"gallery/internal/health"
 	"gallery/internal/obs"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
@@ -49,6 +50,11 @@ func main() {
 		traceSpec = flag.String("trace-sample", "errslow:250ms", "trace sampler: never | always | errslow:<dur> | <probability 0..1>")
 		traceCap  = flag.Int("trace-buffer", 256, "completed traces kept for /v1/debug/traces")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
+
+		healthEvery   = flag.Duration("health-interval", 30*time.Second, "model-health evaluation period (negative disables the monitor loop)")
+		healthRefWins = flag.Int("health-ref-windows", 3, "observation windows that form a model's reference distribution")
+		healthKeep    = flag.Int("health-keep-windows", 48, "persisted health windows kept per model")
+		healthMetric  = flag.String("health-metric", "mape", "production error metric for the monitor's drift/skew checks")
 	)
 	flag.Parse()
 
@@ -102,7 +108,23 @@ func main() {
 	engine.Start(*workers)
 	defer engine.Stop()
 
-	opts := server.Options{Tracer: tracer, Pprof: *pprofOn}
+	// Continuous model health: gateways flush distribution sketches in,
+	// the monitor judges them on a ticker, and degradations feed the rule
+	// engine as health.* events.
+	monitor := health.New(reg, health.Config{
+		Metric:           *healthMetric,
+		ReferenceWindows: *healthRefWins,
+		KeepWindows:      *healthKeep,
+		Interval:         *healthEvery,
+		Events:           engine,
+	})
+	if err := monitor.Recover(); err != nil {
+		log.Fatalf("galleryd: recover health windows: %v", err)
+	}
+	monitor.Start()
+	defer monitor.Stop()
+
+	opts := server.Options{Tracer: tracer, Pprof: *pprofOn, Health: monitor}
 	if *accessLog {
 		opts.AccessLog = os.Stderr
 	}

@@ -44,6 +44,8 @@ func main() {
 		batch     = flag.Int("batch", 0, "micro-batch size (0 disables batching)")
 		batchWait = flag.Duration("batch-wait", 0, "max linger for a partially filled batch (0 = adaptive drain-only)")
 		preload   = flag.String("preload", "", "comma-separated model IDs to load at startup")
+		name      = flag.String("name", "gateway", "gateway name stamped on flushed health observations")
+		healthInt = flag.Duration("health-flush", 15*time.Second, "health observation flush period (negative disables health reporting)")
 		retries   = flag.Int("retries", 3, "gallery client retry budget per request")
 		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
 		traceSpec = flag.String("trace-sample", "errslow:250ms", "trace sampler: never | always | errslow:<dur> | <probability 0..1>")
@@ -68,13 +70,21 @@ func main() {
 	})
 
 	cl := client.NewWith(*gallery, client.Options{Retries: *retries})
-	gw := serve.New(cl, serve.Options{
+	gwOpts := serve.Options{
+		Name:            *name,
 		MaxModels:       *maxModels,
 		RefreshInterval: *refresh,
 		MaxBatch:        *batch,
 		BatchWait:       *batchWait,
 		Tracer:          tracer,
-	})
+	}
+	if *healthInt > 0 {
+		// Per-model prediction sketches stream back to galleryd's health
+		// monitor through the same client.
+		gwOpts.HealthSink = cl
+		gwOpts.HealthInterval = *healthInt
+	}
+	gw := serve.New(cl, gwOpts)
 	defer gw.Close()
 
 	for _, id := range strings.Split(*preload, ",") {

@@ -10,6 +10,8 @@ package api
 import (
 	"encoding/json"
 	"time"
+
+	"gallery/internal/obs/sketch"
 )
 
 // Model mirrors core.Model on the wire.
@@ -173,6 +175,7 @@ type DriftReport struct {
 	RecentMean   float64 `json:"recent_mean"`
 	Degradation  float64 `json:"degradation"`
 	Drifted      bool    `json:"drifted"`
+	Checked      bool    `json:"checked"`
 	Samples      int     `json:"samples"`
 }
 
@@ -281,6 +284,64 @@ type ServingModel struct {
 	LoadedAt   time.Time `json:"loaded_at"`
 	Swaps      int64     `json:"swaps"`
 	Stale      bool      `json:"stale,omitempty"`
+}
+
+// HealthObservation is one model's serving-health window as flushed by a
+// gateway: request/staleness counts plus distribution sketches of the
+// predicted values and request latencies (paper §3.6 made continuous).
+type HealthObservation struct {
+	ModelID     string          `json:"model_id"`
+	InstanceID  string          `json:"instance_id,omitempty"`
+	VersionID   string          `json:"version_id,omitempty"`
+	Version     string          `json:"version,omitempty"`
+	WindowStart time.Time       `json:"window_start"`
+	WindowEnd   time.Time       `json:"window_end"`
+	Requests    int64           `json:"requests"`
+	StaleServes int64           `json:"stale_serves,omitempty"`
+	Values      sketch.Snapshot `json:"values"`
+	Latency     sketch.Snapshot `json:"latency"`
+}
+
+// HealthObservationsRequest is the body of POST /v1/health/observations.
+type HealthObservationsRequest struct {
+	// Gateway identifies the reporting gateway instance, informational.
+	Gateway      string              `json:"gateway,omitempty"`
+	Observations []HealthObservation `json:"observations"`
+}
+
+// HealthObservationsResponse acknowledges an ingest.
+type HealthObservationsResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// ModelHealth is one model's continuously-monitored health verdict, as
+// served by GET /v1/health/models and /v1/health/models/{id}.
+type ModelHealth struct {
+	ModelID    string `json:"model_id"`
+	InstanceID string `json:"instance_id,omitempty"`
+	// Status is "unknown", "healthy", "warning" or "degraded".
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+
+	// PSI/KL compare the live predicted-value distribution against the
+	// reference captured from the first windows after (re)promotion.
+	PSI float64 `json:"psi,omitempty"`
+	KL  float64 `json:"kl,omitempty"`
+
+	Windows        int       `json:"windows"`
+	ReferenceCount int64     `json:"reference_count,omitempty"`
+	LiveCount      int64     `json:"live_count,omitempty"`
+	Requests       int64     `json:"requests"`
+	StaleServes    int64     `json:"stale_serves,omitempty"`
+	RequestRate    float64   `json:"request_rate,omitempty"` // req/s over the last window
+	LatencyP95MS   float64   `json:"latency_p95_ms,omitempty"`
+	LiveMean       float64   `json:"live_mean,omitempty"`
+	ReferenceMean  float64   `json:"reference_mean,omitempty"`
+	LastSeen       time.Time `json:"last_seen,omitempty"`
+
+	Drift *DriftReport `json:"drift,omitempty"`
+	Skew  *SkewReport  `json:"skew,omitempty"`
 }
 
 // Stats summarizes a running Gallery service: registry sizes plus the

@@ -506,3 +506,25 @@ func (c *Client) CheckSkew(instanceID string, req api.SkewRequest) (api.SkewRepo
 	err := c.do("POST", "/v1/instances/"+instanceID+"/skew", req, &rep)
 	return rep, err
 }
+
+// ReportHealthObservations ships a batch of gateway observation windows
+// to galleryd's health monitor. *Client satisfies serve.HealthSink, so a
+// gateway pointed at galleryd flushes its sketches here.
+func (c *Client) ReportHealthObservations(ctx context.Context, req api.HealthObservationsRequest) error {
+	var resp api.HealthObservationsResponse
+	return c.doCtx(ctx, "POST", "/v1/health/observations", req, &resp)
+}
+
+// ListModelHealth reads every tracked model's health verdict.
+func (c *Client) ListModelHealth() ([]api.ModelHealth, error) {
+	var out []api.ModelHealth
+	err := c.do("GET", "/v1/health/models", nil, &out)
+	return out, err
+}
+
+// ModelHealth reads one model's health verdict.
+func (c *Client) ModelHealth(modelID string) (api.ModelHealth, error) {
+	var out api.ModelHealth
+	err := c.do("GET", "/v1/health/models/"+modelID, nil, &out)
+	return out, err
+}

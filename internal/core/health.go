@@ -87,7 +87,7 @@ func (c *DriftConfig) defaults() {
 	if c.Baseline <= 0 {
 		c.Baseline = 30
 	}
-	if c.Threshold <= 0 {
+	if c.Threshold == 0 {
 		c.Threshold = 0.25
 	}
 }
@@ -101,6 +101,10 @@ type DriftReport struct {
 	// Degradation is (RecentMean - BaselineMean) / |BaselineMean|.
 	Degradation float64
 	Drifted     bool
+	// Checked is false when there was not enough history to judge, so
+	// callers can tell "no drift" apart from "no verdict" (mirrors
+	// SkewReport.Checked).
+	Checked bool
 	// Samples is how many production measurements were available.
 	Samples int
 }
@@ -113,6 +117,10 @@ func (g *Registry) CheckDrift(instanceID uuid.UUID, cfg DriftConfig) (*DriftRepo
 	if cfg.Metric == "" {
 		return nil, fmt.Errorf("%w: drift check needs a metric name", ErrBadSpec)
 	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("%w: drift threshold must not be negative, got %g",
+			ErrBadSpec, cfg.Threshold)
+	}
 	cfg.defaults()
 	series, err := g.MetricSeries(instanceID, cfg.Metric, ScopeProduction)
 	if err != nil {
@@ -120,8 +128,9 @@ func (g *Registry) CheckDrift(instanceID uuid.UUID, cfg DriftConfig) (*DriftRepo
 	}
 	rep := &DriftReport{InstanceID: instanceID, Metric: cfg.Metric, Samples: len(series)}
 	if len(series) < cfg.Window+2 {
-		return rep, nil // not enough history to judge
+		return rep, nil // not enough history to judge; Checked stays false
 	}
+	rep.Checked = true
 	split := len(series) - cfg.Window
 	baseStart := split - cfg.Baseline
 	if baseStart < 0 {
@@ -166,7 +175,11 @@ func (g *Registry) CheckSkew(instanceID uuid.UUID, cfg SkewConfig) (*SkewReport,
 	if cfg.Metric == "" {
 		return nil, fmt.Errorf("%w: skew check needs a metric name", ErrBadSpec)
 	}
-	if cfg.Threshold <= 0 {
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("%w: skew threshold must not be negative, got %g",
+			ErrBadSpec, cfg.Threshold)
+	}
+	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.2
 	}
 	rep := &SkewReport{InstanceID: instanceID, Metric: cfg.Metric}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 )
@@ -120,6 +121,85 @@ func TestDriftInsufficientHistory(t *testing.T) {
 	if rep.Drifted || rep.Samples != 5 {
 		t.Fatalf("report = %+v", rep)
 	}
+	if rep.Checked {
+		t.Fatal("5 samples must not count as a verdict")
+	}
+}
+
+func TestDriftCheckedOnVerdict(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	driftSeries(t, h, in, 8.0, 30, 8.1, 10)
+	rep, err := h.g.CheckDrift(in.ID, DriftConfig{Metric: "mape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Checked || rep.Drifted {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestDriftBaselineShorterThanRequested(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	// Only 4 baseline points available though the config asks for 30: the
+	// check must still run over what exists rather than refuse or read out
+	// of bounds.
+	driftSeries(t, h, in, 8.0, 4, 16.0, 10)
+	rep, err := h.g.CheckDrift(in.ID, DriftConfig{Metric: "mape", Window: 10, Baseline: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Checked || !rep.Drifted {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.BaselineMean != 8.0 || rep.RecentMean != 16.0 {
+		t.Fatalf("means = %v / %v", rep.BaselineMean, rep.RecentMean)
+	}
+}
+
+func TestDriftNearZeroBaselineMean(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	driftSeries(t, h, in, 0.0, 30, 0.5, 10) // baseline mean exactly zero
+	rep, err := h.g.CheckDrift(in.ID, DriftConfig{Metric: "mape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Checked || !rep.Drifted {
+		t.Fatalf("report = %+v", rep)
+	}
+	if math.IsNaN(rep.Degradation) || math.IsInf(rep.Degradation, 0) {
+		t.Fatalf("degradation = %v", rep.Degradation)
+	}
+}
+
+func TestDriftRejectsNegativeThreshold(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	_, err := h.g.CheckDrift(in.ID, DriftConfig{Metric: "mape", Threshold: -0.1})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestDriftSmallExplicitThreshold(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	driftSeries(t, h, in, 8.0, 30, 8.4, 10) // 5% degradation
+	// A tiny explicit threshold must be honored, not snapped to 0.25.
+	rep, err := h.g.CheckDrift(in.ID, DriftConfig{Metric: "mape", Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted {
+		t.Fatalf("threshold 0.01 ignored: %+v", rep)
+	}
 }
 
 func TestDriftNeedsMetricName(t *testing.T) {
@@ -188,6 +268,35 @@ func TestSkewFallsBackToTraining(t *testing.T) {
 	}
 	if !rep.Checked || rep.OfflineScope != ScopeTraining {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSkewRejectsNegativeThreshold(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	_, err := h.g.CheckSkew(in.ID, SkewConfig{Metric: "mape", Threshold: -1})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSkewSmallExplicitThreshold(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+	if _, err := h.g.InsertMetric(in.ID, "mape", ScopeValidation, 8.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.g.InsertMetric(in.ID, "mape", ScopeProduction, 8.5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.g.CheckSkew(in.ID, SkewConfig{Metric: "mape", Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Checked || !rep.Skewed {
+		t.Fatalf("threshold 0.01 ignored: %+v", rep)
 	}
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHealthWindowRoundTripAndPrune(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "b")
+	in := h.upload(t, m, "sf", []byte("x"))
+
+	ctx := context.Background()
+	start := h.clk.Now()
+	for i := 0; i < 5; i++ {
+		w := &HealthWindow{
+			ModelID:      m.ID,
+			InstanceID:   in.ID,
+			Gateway:      "gw-1",
+			Start:        start.Add(time.Duration(i) * time.Minute),
+			End:          start.Add(time.Duration(i+1) * time.Minute),
+			Requests:     int64(100 + i),
+			StaleServes:  int64(i),
+			ValuesSketch: `{"count":1}`,
+		}
+		if err := h.g.InsertHealthWindow(ctx, w); err != nil {
+			t.Fatal(err)
+		}
+		if w.ID.IsNil() {
+			t.Fatal("insert did not assign an id")
+		}
+	}
+
+	ws, err := h.g.HealthWindows(m.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 5 {
+		t.Fatalf("got %d windows, want 5", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i].End.Before(ws[i-1].End) {
+			t.Fatal("windows not ordered oldest first")
+		}
+	}
+	if ws[0].Requests != 100 || ws[0].Gateway != "gw-1" || ws[0].InstanceID != in.ID {
+		t.Fatalf("round trip mismatch: %+v", ws[0])
+	}
+
+	recent, err := h.g.HealthWindows(m.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) != 2 || recent[1].Requests != 104 {
+		t.Fatalf("limited read = %+v", recent)
+	}
+
+	ids, err := h.g.HealthWindowModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != m.ID {
+		t.Fatalf("model scan = %v", ids)
+	}
+
+	n, err := h.g.PruneHealthWindows(ctx, m.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("pruned %d, want 3", n)
+	}
+	ws, err = h.g.HealthWindows(m.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Requests != 103 {
+		t.Fatalf("after prune = %+v", ws)
+	}
+	// Pruning again under the cap is a no-op.
+	if n, err = h.g.PruneHealthWindows(ctx, m.ID, 2); err != nil || n != 0 {
+		t.Fatalf("re-prune = %d, %v", n, err)
+	}
+}
+
+func TestHealthWindowValidation(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	err := h.g.InsertHealthWindow(ctx, &HealthWindow{})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+	m := h.model(t, "b")
+	now := h.clk.Now()
+	err = h.g.InsertHealthWindow(ctx, &HealthWindow{
+		ModelID: m.ID, Start: now, End: now.Add(-time.Minute),
+	})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}

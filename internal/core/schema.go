@@ -9,11 +9,12 @@ import (
 
 // Table names in the metadata store.
 const (
-	TableModels    = "models"
-	TableInstances = "instances"
-	TableMetrics   = "metrics"
-	TableVersions  = "versions"
-	TableDeps      = "deps"
+	TableModels        = "models"
+	TableInstances     = "instances"
+	TableMetrics       = "metrics"
+	TableVersions      = "versions"
+	TableDeps          = "deps"
+	TableHealthWindows = "health_windows"
 )
 
 // Schemas returns the full Gallery metadata schema set. The registry
@@ -106,6 +107,23 @@ func Schemas() []relstore.Schema {
 			},
 			Key:     "id",
 			Indexes: []string{"from_model", "to_model"},
+		},
+		{
+			Table: TableHealthWindows,
+			Columns: []relstore.Column{
+				{Name: "id", Kind: relstore.KindString},
+				{Name: "model_id", Kind: relstore.KindString},
+				{Name: "instance_id", Kind: relstore.KindString, Nullable: true},
+				{Name: "gateway", Kind: relstore.KindString, Nullable: true},
+				{Name: "window_start", Kind: relstore.KindTime},
+				{Name: "window_end", Kind: relstore.KindTime},
+				{Name: "requests", Kind: relstore.KindInt},
+				{Name: "stale_serves", Kind: relstore.KindInt},
+				{Name: "values_sketch", Kind: relstore.KindString, Nullable: true},
+				{Name: "latency_sketch", Kind: relstore.KindString, Nullable: true},
+			},
+			Key:     "id",
+			Indexes: []string{"model_id", "window_end"},
 		},
 	}
 }

@@ -358,3 +358,33 @@ func TestTieredOnboarding(t *testing.T) {
 		}
 	}
 }
+
+// TestOnlineDrift is Experiment E19: the continuous health pipeline must
+// stay quiet through steady traffic, flip to degraded after the regime
+// shift, and fire the retrain rule exactly once per episode.
+func TestOnlineDrift(t *testing.T) {
+	res, err := OnlineDrift(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 8 {
+		t.Fatalf("%d windows", len(res.Windows))
+	}
+	for _, w := range res.Windows {
+		if !w.Shifted && w.Status == "degraded" {
+			t.Errorf("window %d degraded before the shift (psi=%.3f)", w.Index, w.PSI)
+		}
+	}
+	if res.DegradedAt == 0 || res.DegradedAt <= 4 {
+		t.Fatalf("degraded at window %d, want a post-shift window", res.DegradedAt)
+	}
+	if res.RetrainFired != 1 {
+		t.Fatalf("retrain fired %d times, want 1", res.RetrainFired)
+	}
+	if res.FinalPSI < 0.25 {
+		t.Errorf("final psi = %.3f, want >= 0.25", res.FinalPSI)
+	}
+	if !strings.Contains(res.Format(), "degraded") {
+		t.Error("Format() missing verdict")
+	}
+}

@@ -80,6 +80,15 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.gaugeFuncs[name] = fn
 }
 
+// RemoveGaugeFunc drops a computed gauge — used when the object backing
+// the closure goes away (e.g. a serving slot evicted from a cache), so
+// snapshots stop reporting a value nobody maintains.
+func (r *Registry) RemoveGaugeFunc(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gaugeFuncs, name)
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bucket bounds if new. An existing histogram keeps its original
 // bounds.

@@ -116,6 +116,10 @@ type job struct {
 	ctx        context.Context
 	rule       *Rule
 	instanceID uuid.UUID
+	// extra adds event-specific variables to the evaluation environment
+	// (e.g. the "health" payload of a drift event); nil for plain
+	// metric/metadata triggers.
+	extra map[string]any
 }
 
 // NewEngine assembles an engine. The built-in actions log, alert, and
@@ -181,7 +185,7 @@ func (e *Engine) Start(workers int) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for j := range jobs {
-				e.runActionRule(j.ctx, j.rule, j.instanceID)
+				e.runActionRule(j.ctx, j.rule, j.instanceID, j.extra)
 				e.pending.Done()
 			}
 		}()
@@ -231,7 +235,38 @@ func (e *Engine) MetricUpdatedCtx(ctx context.Context, instanceID uuid.UUID) {
 		if !watches(rule, "metrics") {
 			continue
 		}
-		e.dispatch(ctx, rule, instanceID)
+		e.dispatch(ctx, rule, instanceID, nil)
+	}
+}
+
+// HealthEvent notifies the engine that the continuous health monitor
+// raised an event ("drift" or "skew") for an instance. Action rules in
+// scope that watch the "health" identifier re-evaluate with a health
+// variable holding the event name and its numeric evidence, so a rule
+// can say e.g.
+//
+//	when: 'health.event == "drift" && health.psi > 0.25'
+//
+// and close the paper's detect-drift → retrain loop automatically.
+func (e *Engine) HealthEvent(ctx context.Context, instanceID uuid.UUID, event string, fields map[string]float64) {
+	e.mu.Lock()
+	e.stats.EventsTriggered++
+	e.mu.Unlock()
+	e.mx.events.Inc()
+	payload := make(map[string]any, len(fields)+1)
+	payload["event"] = event
+	for k, v := range fields {
+		payload[k] = v
+	}
+	extra := map[string]any{"health": payload}
+	for _, rule := range e.repo.Active() {
+		if rule.Kind != KindAction || !e.inScope(rule) {
+			continue
+		}
+		if !watches(rule, "health") {
+			continue
+		}
+		e.dispatch(ctx, rule, instanceID, extra)
 	}
 }
 
@@ -259,7 +294,7 @@ func (e *Engine) MetadataUpdatedCtx(ctx context.Context, instanceID uuid.UUID, f
 			}
 		}
 		if hit {
-			e.dispatch(ctx, rule, instanceID)
+			e.dispatch(ctx, rule, instanceID, nil)
 		}
 	}
 }
@@ -273,7 +308,7 @@ func watches(rule *Rule, field string) bool {
 	return false
 }
 
-func (e *Engine) dispatch(ctx context.Context, rule *Rule, instanceID uuid.UUID) {
+func (e *Engine) dispatch(ctx context.Context, rule *Rule, instanceID uuid.UUID, extra map[string]any) {
 	e.mu.Lock()
 	started, jobs := e.started, e.jobs
 	if started {
@@ -281,10 +316,10 @@ func (e *Engine) dispatch(ctx context.Context, rule *Rule, instanceID uuid.UUID)
 	}
 	e.mu.Unlock()
 	if started {
-		jobs <- job{ctx: trace.Detach(ctx), rule: rule, instanceID: instanceID}
+		jobs <- job{ctx: trace.Detach(ctx), rule: rule, instanceID: instanceID, extra: extra}
 		return
 	}
-	e.runActionRule(ctx, rule, instanceID)
+	e.runActionRule(ctx, rule, instanceID, extra)
 }
 
 func (e *Engine) inScope(rule *Rule) bool {
@@ -295,7 +330,7 @@ func (e *Engine) inScope(rule *Rule) bool {
 // its callbacks when the condition holds. Evaluation errors (e.g. a rule
 // referencing a metric the instance has not reported) mean "condition not
 // met", surfaced as a log alert rather than a crash.
-func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.UUID) {
+func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.UUID, extra map[string]any) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -305,6 +340,11 @@ func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.
 		span.Annotate("instance", instanceID.String())
 	}
 	env, in, err := e.instanceEnv(ctx, instanceID)
+	if err == nil {
+		for k, v := range extra {
+			env.Vars[k] = v
+		}
+	}
 	if err != nil {
 		e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 			Action: "engine", Message: "environment build failed: " + err.Error()})

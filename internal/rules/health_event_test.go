@@ -1,0 +1,83 @@
+package rules
+
+import (
+	"context"
+	"testing"
+
+	"gallery/internal/uuid"
+)
+
+// healthRule fires on drift events with strong PSI evidence.
+func healthRule() *Rule {
+	return &Rule{
+		UUID:        "9f1f6f60-0000-4000-8000-000000000001",
+		Team:        "forecasting",
+		Name:        "retrain-on-drift",
+		Kind:        KindAction,
+		When:        `health.event == "drift" && health.psi > 0.25`,
+		Environment: "production",
+		Actions:     []ActionRef{{Action: "retrain"}},
+	}
+}
+
+func TestHealthEventFiresWatchingRule(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "demand", "UberX")
+	in := h.upload(t, m, "sf")
+	h.commit(t, healthRule())
+
+	var fired []*ActionContext
+	h.eng.RegisterAction("retrain", func(ac *ActionContext) error {
+		fired = append(fired, ac)
+		return nil
+	})
+
+	// Weak evidence: the rule's condition does not hold.
+	h.eng.HealthEvent(context.Background(), in.ID, "drift", map[string]float64{"psi": 0.05})
+	if len(fired) != 0 {
+		t.Fatalf("rule fired on psi=0.05: %+v", fired)
+	}
+	// A skew event must not satisfy a drift condition.
+	h.eng.HealthEvent(context.Background(), in.ID, "skew", map[string]float64{"psi": 0.9})
+	if len(fired) != 0 {
+		t.Fatal("rule fired on skew event")
+	}
+	// Strong drift evidence fires the retrain callback.
+	h.eng.HealthEvent(context.Background(), in.ID, "drift", map[string]float64{"psi": 0.61, "kl": 1.2})
+	if len(fired) != 1 {
+		t.Fatalf("fired %d times, want 1", len(fired))
+	}
+	if fired[0].Instance == nil || fired[0].Instance.ID != in.ID {
+		t.Fatalf("action context instance = %+v", fired[0].Instance)
+	}
+}
+
+func TestHealthEventIgnoresNonWatchingRules(t *testing.T) {
+	h := newHarness(t)
+	m := h.model(t, "demand", "UberX")
+	in := h.upload(t, m, "sf")
+	// A metrics-watching rule must not be dispatched by health events,
+	// even if its condition would hold.
+	r := &Rule{
+		UUID: "9f1f6f60-0000-4000-8000-000000000002",
+		Team: "forecasting", Name: "metric-rule", Kind: KindAction,
+		When:    `metrics.mape >= 0`,
+		Actions: []ActionRef{{Action: "alert"}},
+	}
+	h.commit(t, r)
+	before := h.eng.Stats().Evaluations
+	h.eng.HealthEvent(context.Background(), in.ID, "drift", map[string]float64{"psi": 1})
+	if got := h.eng.Stats().Evaluations; got != before {
+		t.Fatalf("health event evaluated a metrics-only rule (%d -> %d)", before, got)
+	}
+}
+
+func TestHealthEventUnknownInstanceAlerts(t *testing.T) {
+	h := newHarness(t)
+	h.commit(t, healthRule())
+	h.eng.HealthEvent(context.Background(), uuid.NewSeeded(99).New(), "drift", map[string]float64{"psi": 1})
+	alerts := h.eng.Alerts()
+	if len(alerts) != 1 || alerts[0].Action != "engine" {
+		t.Fatalf("alerts = %+v, want one engine alert", alerts)
+	}
+}

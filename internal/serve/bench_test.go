@@ -1,16 +1,26 @@
 package serve
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"gallery/internal/api"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
 )
 
+// nopSink discards health observations; it exists to turn recording on
+// without measuring a network.
+type nopSink struct{}
+
+func (nopSink) ReportHealthObservations(context.Context, api.HealthObservationsRequest) error {
+	return nil
+}
+
 // benchGateway serves one trained LinearAR with a month-long history
 // window — the regime where per-call buffer reuse matters.
-func benchGateway(b *testing.B, maxBatch int) (*Gateway, string, forecast.Context) {
+func benchGateway(b *testing.B, maxBatch int, health bool) (*Gateway, string, forecast.Context) {
 	b.Helper()
 	series := forecast.Generate(forecast.CityConfig{
 		Name: "sf", Base: 100, GrowthPerWeek: 3, DailyAmp: 20, WeeklyAmp: 10, NoiseStd: 2, Seed: 7,
@@ -21,12 +31,17 @@ func benchGateway(b *testing.B, maxBatch int) (*Gateway, string, forecast.Contex
 	}
 	src := newFakeSource()
 	src.promote(b, "m1", 0, m)
-	g := New(src, Options{
+	opts := Options{
 		RefreshInterval: -1,
 		MaxBatch:        maxBatch,
 		BatchWorkers:    1,
 		Obs:             obs.NewRegistry(),
-	})
+	}
+	if health {
+		opts.HealthSink = nopSink{}
+		opts.HealthInterval = -1 // record on the hot path, no flush loop
+	}
+	g := New(src, opts)
 	b.Cleanup(g.Close)
 	fctx := forecast.Context{
 		History: series.Values()[len(series)-24*28:],
@@ -38,8 +53,8 @@ func benchGateway(b *testing.B, maxBatch int) (*Gateway, string, forecast.Contex
 	return g, "m1", fctx
 }
 
-func benchPredict(b *testing.B, maxBatch int) {
-	g, id, fctx := benchGateway(b, maxBatch)
+func benchPredict(b *testing.B, maxBatch int, health bool) {
+	g, id, fctx := benchGateway(b, maxBatch, health)
 	b.ReportAllocs()
 	// Several client goroutines per core: batches only form when requests
 	// actually overlap, which is the serving regime being measured.
@@ -55,8 +70,43 @@ func benchPredict(b *testing.B, maxBatch int) {
 }
 
 // BenchmarkServingGateway is the batching on/off ablation under
-// concurrent load (run with -cpu to vary client parallelism).
+// concurrent load (run with -cpu to vary client parallelism), plus the
+// health-recording on/off arms: recording must cost a few atomics, not
+// allocations.
 func BenchmarkServingGateway(b *testing.B) {
-	b.Run("unbatched", func(b *testing.B) { benchPredict(b, 0) })
-	b.Run("batch=32", func(b *testing.B) { benchPredict(b, 32) })
+	b.Run("unbatched", func(b *testing.B) { benchPredict(b, 0, false) })
+	b.Run("batch=32", func(b *testing.B) { benchPredict(b, 32, false) })
+	b.Run("unbatched/health", func(b *testing.B) { benchPredict(b, 0, true) })
+	b.Run("batch=32/health", func(b *testing.B) { benchPredict(b, 32, true) })
+}
+
+// TestPredictAllocsWithHealthRecording pins the acceptance bound: health
+// recording off adds zero allocations to the predict path, and recording
+// on adds at most two per op.
+func TestPredictAllocsWithHealthRecording(t *testing.T) {
+	measure := func(health bool) float64 {
+		src := newFakeSource()
+		src.promote(t, "m1", 0, &forecast.Heuristic{K: 1})
+		opts := Options{RefreshInterval: -1, Obs: obs.NewRegistry()}
+		if health {
+			opts.HealthSink = nopSink{}
+			opts.HealthInterval = -1
+		}
+		g := New(src, opts)
+		t.Cleanup(g.Close)
+		fctx := forecast.Context{History: []float64{10, 20, 30}}
+		if _, err := g.Predict("m1", fctx); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := g.Predict("m1", fctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	off := measure(false)
+	on := measure(true)
+	if on-off > 2 {
+		t.Fatalf("health recording adds %.1f allocs/op (off=%.1f on=%.1f), want ≤2", on-off, off, on)
+	}
 }

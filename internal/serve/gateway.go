@@ -80,6 +80,18 @@ type Options struct {
 	// batch drains) start traces of its own, subject to its sampler.
 	// Request traces do not need it — they ride the caller's context.
 	Tracer *trace.Tracer
+	// Name identifies this gateway in flushed health observations
+	// (default "gateway").
+	Name string
+	// HealthSink, when set, turns on continuous model-health recording:
+	// per-model sketches of predicted values and latencies plus
+	// request/stale counts, flushed every HealthInterval. Nil keeps the
+	// predict hot path free of any recording work.
+	HealthSink HealthSink
+	// HealthInterval is the observation-window length (default 15s).
+	// Zero uses the default; negative disables the flush loop (tests
+	// drive FlushHealth directly).
+	HealthInterval time.Duration
 }
 
 // served is one immutable loaded-model snapshot. Swaps replace the whole
@@ -107,6 +119,15 @@ type entry struct {
 	stale atomic.Bool
 	swaps atomic.Int64
 	batch *batcher // nil when batching is off; set before ready closes
+
+	// lastOK is the unix-nano time of the last successful load or
+	// refresh, feeding the per-model refresh-age gauge.
+	lastOK atomic.Int64
+	// mxStale is this model's dedicated stale-serve counter.
+	mxStale *obs.Counter
+	// health is the model's live observation window; nil when health
+	// recording is off.
+	health *entryHealth
 }
 
 // Gateway serves predictions from Gallery production instances.
@@ -135,12 +156,14 @@ type gatewayMetrics struct {
 	evictions    *obs.Counter
 	refreshes    *obs.Counter
 	refreshErrs  *obs.Counter
-	predicts     *obs.Counter
-	predictErrs  *obs.Counter
-	stale        *obs.Counter
-	latency      *obs.Histogram
-	batchSize    *obs.Histogram
-	loadedModels *obs.Gauge
+	predicts        *obs.Counter
+	predictErrs     *obs.Counter
+	stale           *obs.Counter
+	latency         *obs.Histogram
+	batchSize       *obs.Histogram
+	loadedModels    *obs.Gauge
+	healthFlushes   *obs.Counter
+	healthFlushErrs *obs.Counter
 }
 
 // batchSizeBuckets covers batch sizes 1..256.
@@ -163,6 +186,12 @@ func New(src Source, opts Options) *Gateway {
 	if opts.Obs == nil {
 		opts.Obs = obs.Default
 	}
+	if opts.Name == "" {
+		opts.Name = "gateway"
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = 15 * time.Second
+	}
 	g := &Gateway{
 		src:     src,
 		opts:    opts,
@@ -182,14 +211,20 @@ func New(src Source, opts Options) *Gateway {
 			predicts:     opts.Obs.Counter("serve_predictions_total"),
 			predictErrs:  opts.Obs.Counter("serve_prediction_errors_total"),
 			stale:        opts.Obs.Counter("serve_stale_predictions_total"),
-			latency:      opts.Obs.Histogram("serve_predict_seconds", obs.LatencyBuckets),
-			batchSize:    opts.Obs.Histogram("serve_batch_size", batchSizeBuckets),
-			loadedModels: opts.Obs.Gauge("serve_loaded_models"),
+			latency:         opts.Obs.Histogram("serve_predict_seconds", obs.LatencyBuckets),
+			batchSize:       opts.Obs.Histogram("serve_batch_size", batchSizeBuckets),
+			loadedModels:    opts.Obs.Gauge("serve_loaded_models"),
+			healthFlushes:   opts.Obs.Counter("serve_health_flushes_total"),
+			healthFlushErrs: opts.Obs.Counter("serve_health_flush_errors_total"),
 		},
 	}
 	if opts.RefreshInterval > 0 {
 		g.wg.Add(1)
 		go g.refreshLoop()
+	}
+	if opts.HealthSink != nil && opts.HealthInterval > 0 {
+		g.wg.Add(1)
+		go g.healthLoop()
 	}
 	return g
 }
@@ -246,6 +281,10 @@ func (g *Gateway) PredictCtx(ctx context.Context, modelID string, fctx forecast.
 	g.mx.predicts.Inc()
 	if stale {
 		g.mx.stale.Inc()
+		e.mxStale.Inc()
+	}
+	if e.health != nil {
+		e.health.record(value, time.Since(start).Seconds(), stale)
 	}
 	g.mx.latency.ObserveSinceExemplar(start, span.TraceIDString())
 	span.End()
@@ -288,6 +327,10 @@ func (g *Gateway) entry(ctx context.Context, modelID string) (*entry, string, er
 	default:
 	}
 	e := &entry{modelID: modelID, ready: make(chan struct{})}
+	e.mxStale = g.obs.Counter(obs.Name("serve_stale_serves_total", "model", modelID))
+	if g.opts.HealthSink != nil {
+		e.health = newEntryHealth(time.Now())
+	}
 	e.el = g.ll.PushFront(e)
 	g.entries[modelID] = e
 	var evicted []*entry
@@ -313,6 +356,16 @@ func (g *Gateway) entry(ctx context.Context, modelID string) (*entry, string, er
 			if old.batch != nil {
 				old.batch.stop()
 			}
+			// Drop the evicted model's refresh-age gauge unless the model
+			// was re-admitted in the meantime (the new slot re-registers
+			// its own closure; a lost race here only leaves a gauge
+			// reading the old slot until the next load).
+			g.mu.Lock()
+			_, resurrected := g.entries[old.modelID]
+			g.mu.Unlock()
+			if !resurrected {
+				g.obs.RemoveGaugeFunc(obs.Name("serve_refresh_age_seconds", "model", old.modelID))
+			}
 		}(old)
 	}
 
@@ -337,10 +390,26 @@ func (g *Gateway) entry(ctx context.Context, modelID string) (*entry, string, er
 	if g.opts.MaxBatch > 1 {
 		e.batch = newBatcher(e, g)
 	}
+	e.lastOK.Store(time.Now().UnixNano())
 	close(e.ready)
 	g.mx.loads.Inc()
 	g.setVersionGauge(e, &srv.version)
+	g.registerAgeGauge(e)
 	return e, "miss", nil
+}
+
+// registerAgeGauge publishes how long ago a model last confirmed its
+// production pointer — the operator's "how stale could this answer be"
+// number. The closure reads one atomic, so it is safe under the metric
+// registry's snapshot lock.
+func (g *Gateway) registerAgeGauge(e *entry) {
+	g.obs.GaugeFunc(obs.Name("serve_refresh_age_seconds", "model", e.modelID), func() float64 {
+		ns := e.lastOK.Load()
+		if ns == 0 {
+			return -1
+		}
+		return time.Since(time.Unix(0, ns)).Seconds()
+	})
 }
 
 // productionVersion resolves a model's promoted version, propagating the
@@ -453,6 +522,7 @@ func (g *Gateway) refresh(e *entry) {
 	cur := e.cur.Load()
 	if cur != nil && cur.version.ID == v.ID {
 		e.stale.Store(false)
+		e.lastOK.Store(time.Now().UnixNano())
 		if span != nil {
 			span.Annotate("swap", "false")
 		}
@@ -488,6 +558,12 @@ func (g *Gateway) refresh(e *entry) {
 	})
 	e.swaps.Add(1)
 	e.stale.Store(false)
+	e.lastOK.Store(time.Now().UnixNano())
+	if e.health != nil {
+		// Discard the in-progress window: one window must not mix two
+		// instances' output distributions.
+		e.health.reset(time.Now())
+	}
 	g.mx.swaps.Inc()
 	g.setVersionGauge(e, &v)
 	if span != nil {

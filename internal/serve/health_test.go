@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gallery/internal/api"
+	"gallery/internal/forecast"
+	"gallery/internal/obs"
+)
+
+// captureSink records every flushed health request.
+type captureSink struct {
+	mu   sync.Mutex
+	reqs []api.HealthObservationsRequest
+}
+
+func (s *captureSink) ReportHealthObservations(_ context.Context, req api.HealthObservationsRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqs = append(s.reqs, req)
+	return nil
+}
+
+func (s *captureSink) all() []api.HealthObservationsRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]api.HealthObservationsRequest(nil), s.reqs...)
+}
+
+func TestHealthFlushShipsWindow(t *testing.T) {
+	src := newFakeSource()
+	src.promote(t, "m1", 0, &forecast.Heuristic{K: 1})
+	sink := &captureSink{}
+	g := newTestGateway(t, src, Options{
+		Name: "gw-test", HealthSink: sink, HealthInterval: -1,
+	})
+
+	fctx := forecast.Context{History: []float64{10, 20, 30}}
+	for i := 0; i < 5; i++ {
+		if _, err := g.Predict("m1", fctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.FlushHealth(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	reqs := sink.all()
+	if len(reqs) != 1 {
+		t.Fatalf("got %d flushes, want 1", len(reqs))
+	}
+	if reqs[0].Gateway != "gw-test" || len(reqs[0].Observations) != 1 {
+		t.Fatalf("request = %+v", reqs[0])
+	}
+	o := reqs[0].Observations[0]
+	if o.ModelID != "m1" || o.InstanceID != "inst-m1-0" {
+		t.Fatalf("observation identity = %+v", o)
+	}
+	if o.Requests != 5 || o.StaleServes != 0 {
+		t.Fatalf("counts = %d/%d, want 5/0", o.Requests, o.StaleServes)
+	}
+	if o.Values.Count != 5 || o.Latency.Count != 5 {
+		t.Fatalf("sketch counts = %d/%d, want 5/5", o.Values.Count, o.Latency.Count)
+	}
+	// Heuristic{K:1} serves the last history value: every observation is 30.
+	if o.Values.Mean() != 30 {
+		t.Fatalf("values mean = %g, want 30", o.Values.Mean())
+	}
+	if o.WindowEnd.Before(o.WindowStart) {
+		t.Fatalf("window %v..%v inverted", o.WindowStart, o.WindowEnd)
+	}
+
+	// Quiet window: nothing to ship.
+	if err := g.FlushHealth(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.all()); got != 1 {
+		t.Fatalf("empty window still flushed: %d reports", got)
+	}
+}
+
+func TestHealthWindowResetOnHotSwap(t *testing.T) {
+	src := newFakeSource()
+	src.promote(t, "m1", 0, &forecast.Heuristic{K: 1})
+	sink := &captureSink{}
+	g := newTestGateway(t, src, Options{HealthSink: sink, HealthInterval: -1})
+
+	fctx := forecast.Context{History: []float64{10, 20, 30}}
+	for i := 0; i < 3; i++ {
+		if _, err := g.Predict("m1", fctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hot swap discards the mixed window...
+	src.promote(t, "m1", 1, &forecast.Heuristic{K: 2})
+	g.RefreshAll()
+	if err := g.FlushHealth(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.all()); got != 0 {
+		t.Fatalf("pre-swap window leaked through: %d reports", got)
+	}
+	// ...and post-swap traffic reports against the new instance.
+	if _, err := g.Predict("m1", fctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FlushHealth(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	reqs := sink.all()
+	if len(reqs) != 1 || len(reqs[0].Observations) != 1 {
+		t.Fatalf("reports = %+v", reqs)
+	}
+	o := reqs[0].Observations[0]
+	if o.InstanceID != "inst-m1-1" || o.Requests != 1 {
+		t.Fatalf("post-swap observation = %+v", o)
+	}
+}
+
+func TestPerModelStaleCounterAndRefreshAgeGauge(t *testing.T) {
+	src := newFakeSource()
+	src.promote(t, "m1", 0, &forecast.Heuristic{K: 1})
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, src, Options{Obs: reg})
+
+	fctx := forecast.Context{History: []float64{10, 20, 30}}
+	if _, err := g.Predict("m1", fctx); err != nil {
+		t.Fatal(err)
+	}
+	staleName := obs.Name("serve_stale_serves_total", "model", "m1")
+	if got := reg.Counter(staleName).Value(); got != 0 {
+		t.Fatalf("stale counter = %d before any degradation", got)
+	}
+	ageName := obs.Name("serve_refresh_age_seconds", "model", "m1")
+	snap := reg.Snapshot()
+	age, ok := snap.Gauges[ageName]
+	if !ok {
+		t.Fatalf("refresh-age gauge missing; gauges = %v", snap.Gauges)
+	}
+	if age < 0 || age > 60 {
+		t.Fatalf("refresh age = %g, want small and non-negative", age)
+	}
+
+	// Take galleryd down: refresh fails, serves go stale, the per-model
+	// counter moves with them.
+	src.fail.Store(true)
+	g.RefreshAll()
+	for i := 0; i < 3; i++ {
+		if _, err := g.Predict("m1", fctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(staleName).Value(); got != 3 {
+		t.Fatalf("per-model stale counter = %d, want 3", got)
+	}
+
+	// Recovery refreshes the pointer and resets the age.
+	src.fail.Store(false)
+	time.Sleep(10 * time.Millisecond)
+	g.RefreshAll()
+	snap = reg.Snapshot()
+	if age2 := snap.Gauges[ageName]; age2 < 0 || age2 > 1 {
+		t.Fatalf("refresh age after recovery = %g, want ≈0", age2)
+	}
+}
+
+func TestRefreshAgeGaugeRemovedOnEviction(t *testing.T) {
+	src := newFakeSource()
+	src.promote(t, "m1", 0, &forecast.Heuristic{K: 1})
+	src.promote(t, "m2", 0, &forecast.Heuristic{K: 1})
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, src, Options{Obs: reg, MaxModels: 1})
+
+	fctx := forecast.Context{History: []float64{10, 20, 30}}
+	if _, err := g.Predict("m1", fctx); err != nil {
+		t.Fatal(err)
+	}
+	// Loading m2 evicts m1 (MaxModels=1).
+	if _, err := g.Predict("m2", fctx); err != nil {
+		t.Fatal(err)
+	}
+	name1 := obs.Name("serve_refresh_age_seconds", "model", "m1")
+	name2 := obs.Name("serve_refresh_age_seconds", "model", "m2")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := reg.Snapshot()
+		_, has1 := snap.Gauges[name1]
+		_, has2 := snap.Gauges[name2]
+		if !has1 && has2 {
+			break // evicted gauge dropped, resident gauge kept
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauges after eviction = %v", snap.Gauges)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"gallery/internal/api"
 	"gallery/internal/core"
+	"gallery/internal/health"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	"gallery/internal/obs/trace"
@@ -50,6 +51,9 @@ type Options struct {
 	// Pprof mounts net/http/pprof under /v1/debug/pprof/ (off by default:
 	// profiling endpoints expose stacks and should be opted into).
 	Pprof bool
+	// Health, when non-nil, mounts the continuous model-health endpoints
+	// (POST /v1/health/observations, GET /v1/health/models[/{id}]).
+	Health *health.Monitor
 }
 
 // Server wires HTTP routes to the registry and rule engine.
@@ -57,6 +61,7 @@ type Server struct {
 	reg    *core.Registry
 	repo   *rules.Repo
 	engine *rules.Engine
+	health *health.Monitor
 	mux    *http.ServeMux
 	h      http.Handler // mux behind the shared observability middleware
 
@@ -113,6 +118,7 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 		reg:    reg,
 		repo:   repo,
 		engine: engine,
+		health: opts.Health,
 		mux:    http.NewServeMux(),
 
 		obs:            opts.Obs,
@@ -240,6 +246,13 @@ func (s *Server) routes() {
 
 	m.HandleFunc("POST /v1/instances/{id}/metricsblob", s.handleInsertMetricsBlob)
 	m.HandleFunc("POST /v1/health/fleet", s.handleFleetHealth)
+	if s.health != nil {
+		// Continuous health: gateways flush observation windows in, the
+		// monitor's verdicts stream out.
+		m.HandleFunc("POST /v1/health/observations", s.handleHealthObservations)
+		m.HandleFunc("GET /v1/health/models", s.handleListModelHealth)
+		m.HandleFunc("GET /v1/health/models/{id}", s.handleGetModelHealth)
+	}
 
 	m.HandleFunc("POST /v1/search", s.handleSearch)
 	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
@@ -706,6 +719,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		RecentMean:   rep.RecentMean,
 		Degradation:  rep.Degradation,
 		Drifted:      rep.Drifted,
+		Checked:      rep.Checked,
 		Samples:      rep.Samples,
 	})
 }
@@ -800,7 +814,8 @@ func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
 			Drift: api.DriftReport{
 				InstanceID: ih.InstanceID.String(), Metric: ih.Drift.Metric,
 				BaselineMean: ih.Drift.BaselineMean, RecentMean: ih.Drift.RecentMean,
-				Degradation: ih.Drift.Degradation, Drifted: ih.Drift.Drifted, Samples: ih.Drift.Samples,
+				Degradation: ih.Drift.Degradation, Drifted: ih.Drift.Drifted,
+				Checked: ih.Drift.Checked, Samples: ih.Drift.Samples,
 			},
 			Skew: api.SkewReport{
 				InstanceID: ih.InstanceID.String(), Metric: ih.Skew.Metric,
