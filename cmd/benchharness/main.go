@@ -171,6 +171,19 @@ func main() {
 			}
 			return res.Format(), nil
 		}},
+		{"auditchurn", "E20 (extension) / §3 — audit trail stays bounded under promotion churn", func() (string, error) {
+			res, err := experiments.AuditChurn(400, 16)
+			if err != nil {
+				return "", err
+			}
+			if !res.Bounded() {
+				return "", fmt.Errorf("auditchurn: trail unbounded: peak %d events for keep=%d", res.PeakLen, res.Keep)
+			}
+			if res.Pruned == 0 {
+				return "", fmt.Errorf("auditchurn: retention never pruned anything over %d rounds", res.Rounds)
+			}
+			return res.Format(), nil
+		}},
 		{"tiered", "E15 / §6.3 — tiered service offering", func() (string, error) {
 			rs, err := experiments.TieredOnboarding()
 			if err != nil {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gallery/internal/api"
+	"gallery/internal/client"
+	obslog "gallery/internal/obs/log"
+)
+
+// cmdAudit searches the lifecycle audit trail. With -entity it renders
+// one entity's timeline (a model's timeline includes events on its
+// instances and versions); otherwise it runs a filtered search over the
+// whole trail.
+func cmdAudit(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	entity := fs.String("entity", "", "render one entity's timeline (model or instance UUID)")
+	model := fs.String("model", "", "events whose owning model is this UUID")
+	action := fs.String("action", "", "filter by action (e.g. version.promote, rule.fire)")
+	actor := fs.String("actor", "", "filter by actor")
+	traceID := fs.String("trace", "", "filter by 32-hex trace id")
+	since := fs.String("since", "", "events at or after (RFC3339 or a duration like 15m)")
+	until := fs.String("until", "", "events before (RFC3339 or a duration like 15m)")
+	limit := fs.Int("limit", 50, "max events")
+	asc := fs.Bool("asc", false, "oldest first (default newest first)")
+	raw := fs.Bool("json", false, "print raw JSON instead of the rendered view")
+	var where multiFlag
+	fs.Var(&where, "where", "raw predicate field:op:value (repeatable)")
+	fs.Parse(args)
+
+	var (
+		evs []api.AuditEvent
+		err error
+	)
+	if *entity != "" {
+		evs, err = c.EntityTimeline(*entity, *limit)
+	} else {
+		evs, err = c.AuditEvents(client.AuditQuery{
+			Model: *model, Action: *action, Actor: *actor, Trace: *traceID,
+			Since: *since, Until: *until, Where: where, Limit: *limit, Asc: *asc,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return dump(evs, nil)
+	}
+	for _, ev := range evs {
+		printAuditEvent(ev)
+	}
+	if len(evs) == 0 {
+		fmt.Println("no audit events match")
+	}
+	return nil
+}
+
+// printAuditEvent renders one trail line:
+//
+//	#12 2026-08-06T10:00:00Z version.promote instance 5b..  rules  v1.0 (..) -> v1.1 (..)  trace=ab..
+func printAuditEvent(ev api.AuditEvent) {
+	change := ""
+	switch {
+	case ev.Before != "" && ev.After != "":
+		change = fmt.Sprintf("  %s -> %s", ev.Before, ev.After)
+	case ev.After != "":
+		change = "  -> " + ev.After
+	case ev.Before != "":
+		change = "  was " + ev.Before
+	}
+	detail := ""
+	if ev.Detail != "" {
+		detail = "  (" + ev.Detail + ")"
+	}
+	tr := ""
+	if ev.TraceID != "" {
+		tr = "  trace=" + ev.TraceID
+	}
+	fmt.Printf("#%d %s  %-20s %s %s  by %s%s%s%s\n",
+		ev.Seq, ev.Time.UTC().Format(time.RFC3339), ev.Action,
+		ev.EntityType, ev.EntityID, ev.Actor, change, detail, tr)
+}
+
+// cmdLogs reads the server's structured-log ring; -follow polls the
+// sequence cursor so only new lines print.
+func cmdLogs(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("logs", flag.ExitOnError)
+	level := fs.String("level", "", "min level: debug|info|warn|error")
+	since := fs.String("since", "", "lines at or after (RFC3339 or a duration like 5m)")
+	limit := fs.Int("limit", 100, "max lines per fetch")
+	follow := fs.Bool("follow", false, "keep polling for new lines")
+	every := fs.Duration("every", 2*time.Second, "poll period with -follow")
+	raw := fs.Bool("json", false, "print raw JSON entries")
+	fs.Parse(args)
+
+	q := client.LogsQuery{Level: *level, Since: *since, Limit: *limit}
+	for {
+		resp, err := c.DebugLogs(q)
+		if err != nil {
+			return err
+		}
+		for _, e := range resp.Entries {
+			if *raw {
+				if err := dump(e, nil); err != nil {
+					return err
+				}
+				continue
+			}
+			printLogEntry(e)
+		}
+		if !*follow {
+			return nil
+		}
+		// From here on, only lines newer than what we have seen.
+		q.Since = ""
+		q.After, q.HasAfter = resp.NextSeq, true
+		time.Sleep(*every)
+	}
+}
+
+func printLogEntry(e obslog.Entry) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-5s %s", e.Time.UTC().Format(time.RFC3339), strings.ToUpper(e.Level), e.Msg)
+	if e.TraceID != "" {
+		fmt.Fprintf(&b, " trace=%s", e.TraceID)
+	}
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, e.Attrs[k])
+	}
+	fmt.Println(b.String())
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

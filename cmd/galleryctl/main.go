@@ -28,6 +28,9 @@
 //	stats
 //	metrics
 //	traces    [-limit N | -id TRACE_ID] [-json]
+//	audit     [-entity UUID | -model UUID] [-action A] [-actor A] [-trace ID]
+//	          [-since D] [-until D] [-where f:op:v]... [-limit N] [-asc] [-json]
+//	logs      [-level L] [-since D] [-limit N] [-follow [-every D]] [-json]
 //	predict   -model UUID -history "10,12,11,13" [-gateway URL]
 package main
 
@@ -47,12 +50,13 @@ import (
 
 func main() {
 	serverFlag := flag.String("server", "http://localhost:8440", "gallery server URL")
+	actorFlag := flag.String("actor", "galleryctl", "actor name recorded in the audit trail for mutations")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fail("usage: galleryctl [-server URL] <subcommand> [args]; see -h")
 	}
-	c := client.New(*serverFlag, nil)
+	c := client.NewWith(*serverFlag, client.Options{Actor: *actorFlag})
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -94,6 +98,10 @@ func main() {
 		err = cmdMetrics(c)
 	case "traces":
 		err = cmdTraces(c, rest)
+	case "audit":
+		err = cmdAudit(c, rest)
+	case "logs":
+		err = cmdLogs(c, rest)
 	case "predict":
 		err = cmdPredict(c, *serverFlag, rest)
 	default:

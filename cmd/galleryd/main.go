@@ -30,6 +30,7 @@ import (
 	"gallery/internal/core"
 	"gallery/internal/health"
 	"gallery/internal/obs"
+	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
@@ -55,6 +56,10 @@ func main() {
 		healthRefWins = flag.Int("health-ref-windows", 3, "observation windows that form a model's reference distribution")
 		healthKeep    = flag.Int("health-keep-windows", 48, "persisted health windows kept per model")
 		healthMetric  = flag.String("health-metric", "mape", "production error metric for the monitor's drift/skew checks")
+
+		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
+		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
+		auditKeep = flag.Int("audit-keep", 256, "audit events retained per entity (negative disables pruning)")
 	)
 	flag.Parse()
 
@@ -95,7 +100,7 @@ func main() {
 		}
 	}
 
-	reg, err := core.New(meta, blobs, core.Options{})
+	reg, err := core.New(meta, blobs, core.Options{AuditKeep: *auditKeep})
 	if err != nil {
 		log.Fatalf("galleryd: init registry: %v", err)
 	}
@@ -124,7 +129,14 @@ func main() {
 	monitor.Start()
 	defer monitor.Stop()
 
-	opts := server.Options{Tracer: tracer, Pprof: *pprofOn, Health: monitor}
+	// Structured logs land in a bounded in-memory ring served at
+	// GET /v1/debug/logs, trace-correlated; -access-log additionally tees
+	// them to stderr as JSON lines.
+	opts := server.Options{
+		Tracer: tracer, Pprof: *pprofOn, Health: monitor,
+		Logs:     obslog.NewRing(*logBuffer),
+		LogLevel: obslog.ParseLevel(*logLevel),
+	}
 	if *accessLog {
 		opts.AccessLog = os.Stderr
 	}

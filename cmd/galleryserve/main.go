@@ -31,6 +31,7 @@ import (
 
 	"gallery/internal/client"
 	"gallery/internal/forecast"
+	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
 	"gallery/internal/serve"
 )
@@ -51,6 +52,8 @@ func main() {
 		traceSpec = flag.String("trace-sample", "errslow:250ms", "trace sampler: never | always | errslow:<dur> | <probability 0..1>")
 		traceCap  = flag.Int("trace-buffer", 256, "completed traces kept for /v1/debug/traces")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
+		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
+		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
 	)
 	flag.Parse()
 
@@ -69,7 +72,7 @@ func main() {
 		Exporter: exporter,
 	})
 
-	cl := client.NewWith(*gallery, client.Options{Retries: *retries})
+	cl := client.NewWith(*gallery, client.Options{Retries: *retries, Actor: "gateway:" + *name})
 	gwOpts := serve.Options{
 		Name:            *name,
 		MaxModels:       *maxModels,
@@ -77,6 +80,9 @@ func main() {
 		MaxBatch:        *batch,
 		BatchWait:       *batchWait,
 		Tracer:          tracer,
+		// Hot swaps land on galleryd's lifecycle audit trail next to the
+		// promotions that caused them.
+		AuditSink: cl,
 	}
 	if *healthInt > 0 {
 		// Per-model prediction sketches stream back to galleryd's health
@@ -96,9 +102,18 @@ func main() {
 		}
 	}
 
-	opts := []serve.HandlerOption{serve.WithTracer(tracer)}
+	// Structured logs land in a bounded ring served at GET /v1/debug/logs
+	// (trace-correlated); -access-log tees them to stderr as JSON lines.
+	ring := obslog.NewRing(*logBuffer)
+	var tee *slog.Logger
 	if *accessLog {
-		opts = append(opts, serve.WithAccessLog(jsonLogger()))
+		tee = jsonLogger()
+	}
+	logger := slog.New(obslog.NewHandler(ring, obslog.ParseLevel(*logLevel), teeHandler(tee)))
+	opts := []serve.HandlerOption{
+		serve.WithTracer(tracer),
+		serve.WithLogRing(ring),
+		serve.WithAccessLog(logger),
 	}
 	if *pprofOn {
 		opts = append(opts, serve.WithPprof())
@@ -122,6 +137,15 @@ func warmupContext() forecast.Context {
 
 func jsonLogger() *slog.Logger {
 	return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+}
+
+// teeHandler unwraps an optional logger into the downstream handler slot
+// of the ring pipeline (nil when -access-log is off).
+func teeHandler(l *slog.Logger) slog.Handler {
+	if l == nil {
+		return nil
+	}
+	return l.Handler()
 }
 
 func waitForShutdown(httpSrv *http.Server, errCh chan error) {

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"time"
 
+	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/sketch"
 )
 
@@ -342,6 +343,53 @@ type ModelHealth struct {
 
 	Drift *DriftReport `json:"drift,omitempty"`
 	Skew  *SkewReport  `json:"skew,omitempty"`
+}
+
+// AuditEvent is one immutable record of the lifecycle audit trail: who
+// did what to which entity, when, with a before→after summary and the
+// trace that carried the mutation. Served by GET /v1/audit and
+// GET /v1/audit/entity/{id}; ingested from external emitters (serving
+// gateways reporting hot swaps) via POST /v1/audit.
+type AuditEvent struct {
+	ID         string    `json:"id,omitempty"`
+	Seq        int64     `json:"seq,omitempty"`
+	Time       time.Time `json:"time,omitempty"`
+	Actor      string    `json:"actor,omitempty"`
+	Action     string    `json:"action"`
+	EntityType string    `json:"entity_type"`
+	EntityID   string    `json:"entity_id"`
+	ModelID    string    `json:"model_id,omitempty"`
+	Before     string    `json:"before,omitempty"`
+	After      string    `json:"after,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	TraceID    string    `json:"trace_id,omitempty"`
+}
+
+// AuditEventsResponse is the body of GET /v1/audit and
+// GET /v1/audit/entity/{id}, newest first unless the query says otherwise.
+type AuditEventsResponse struct {
+	Events []AuditEvent `json:"events"`
+}
+
+// RecordAuditRequest is the body of POST /v1/audit: lifecycle events
+// witnessed by a process without its own audit store (a serving gateway's
+// hot swaps). The server stamps ID, sequence and time on ingest.
+type RecordAuditRequest struct {
+	Events []AuditEvent `json:"events"`
+}
+
+// RecordAuditResponse acknowledges an audit ingest.
+type RecordAuditResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// DebugLogsResponse is GET /v1/debug/logs: recent structured log lines
+// from the process's in-memory ring, oldest first, plus the cursor a
+// follower passes back as ?after= to receive only newer lines.
+type DebugLogsResponse struct {
+	Entries []obslog.Entry `json:"entries"`
+	NextSeq uint64         `json:"next_seq"`
 }
 
 // Stats summarizes a running Gallery service: registry sizes plus the

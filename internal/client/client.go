@@ -38,6 +38,9 @@ type Options struct {
 	RetryMax  time.Duration
 	// Sleep replaces time.Sleep between attempts; tests inject a recorder.
 	Sleep func(time.Duration)
+	// Actor, when set, is sent as the X-Gallery-Actor header on every
+	// request, naming this caller in the service's lifecycle audit trail.
+	Actor string
 }
 
 // Client talks to one Gallery service endpoint.
@@ -136,6 +139,9 @@ func (c *Client) once(ctx context.Context, method, path string, hasBody bool, pa
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.opts.Actor != "" {
+		req.Header.Set("X-Gallery-Actor", c.opts.Actor)
 	}
 	if span != nil {
 		req.Header.Set("traceparent", span.Traceparent())
@@ -526,5 +532,114 @@ func (c *Client) ListModelHealth() ([]api.ModelHealth, error) {
 func (c *Client) ModelHealth(modelID string) (api.ModelHealth, error) {
 	var out api.ModelHealth
 	err := c.do("GET", "/v1/health/models/"+modelID, nil, &out)
+	return out, err
+}
+
+// AuditQuery filters an AuditEvents search. All set fields AND together.
+// Since/Until accept an RFC3339 instant or a relative duration ("15m"
+// means that long ago); Where entries are raw "field:op:value" predicates
+// using the operator names of POST /v1/search.
+type AuditQuery struct {
+	Entity string
+	Model  string
+	Action string
+	Actor  string
+	Trace  string
+	Since  string
+	Until  string
+	Where  []string
+	Limit  int
+	Asc    bool // oldest first; default is newest first
+}
+
+// AuditEvents searches the service's lifecycle audit trail (GET /v1/audit).
+func (c *Client) AuditEvents(q AuditQuery) ([]api.AuditEvent, error) {
+	v := url.Values{}
+	set := func(k, val string) {
+		if val != "" {
+			v.Set(k, val)
+		}
+	}
+	set("entity", q.Entity)
+	set("model", q.Model)
+	set("action", q.Action)
+	set("actor", q.Actor)
+	set("trace", q.Trace)
+	set("since", q.Since)
+	set("until", q.Until)
+	for _, w := range q.Where {
+		v.Add("where", w)
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Asc {
+		v.Set("order", "asc")
+	}
+	path := "/v1/audit"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out api.AuditEventsResponse
+	err := c.do("GET", path, nil, &out)
+	return out.Events, err
+}
+
+// EntityTimeline reads one entity's audit lineage — the events naming it
+// plus, for a model, events on its instances and versions — in write
+// order (GET /v1/audit/entity/{id}). limit <= 0 uses the server default.
+func (c *Client) EntityTimeline(id string, limit int) ([]api.AuditEvent, error) {
+	path := "/v1/audit/entity/" + url.PathEscape(id)
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out api.AuditEventsResponse
+	err := c.do("GET", path, nil, &out)
+	return out.Events, err
+}
+
+// ReportAuditEvent ships one externally-witnessed lifecycle event to the
+// service's audit trail (POST /v1/audit). *Client satisfies
+// serve.AuditSink, so a gateway pointed at galleryd records its hot swaps
+// in the same trail as the promotions that caused them.
+func (c *Client) ReportAuditEvent(ctx context.Context, ev api.AuditEvent) error {
+	var resp api.RecordAuditResponse
+	return c.doCtx(ctx, "POST", "/v1/audit", api.RecordAuditRequest{Events: []api.AuditEvent{ev}}, &resp)
+}
+
+// LogsQuery filters a DebugLogs read.
+type LogsQuery struct {
+	Level string // debug | info | warn | error
+	Since string // RFC3339 or a relative duration like 5m
+	// After is the next_seq cursor of a previous response; HasAfter
+	// distinguishes "from seq 0" from "no cursor".
+	After    uint64
+	HasAfter bool
+	Limit    int
+}
+
+// DebugLogs reads the process's structured-log ring (GET /v1/debug/logs),
+// oldest first. The returned NextSeq goes back in LogsQuery.After to
+// receive only newer lines — follow mode.
+func (c *Client) DebugLogs(q LogsQuery) (api.DebugLogsResponse, error) {
+	v := url.Values{}
+	if q.Level != "" {
+		v.Set("level", q.Level)
+	}
+	if q.Since != "" {
+		v.Set("since", q.Since)
+	}
+	if q.HasAfter {
+		v.Set("after", strconv.FormatUint(q.After, 10))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/v1/debug/logs"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out api.DebugLogsResponse
+	err := c.do("GET", path, nil, &out)
 	return out, err
 }

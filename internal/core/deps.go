@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gallery/internal/audit"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/uuid"
@@ -55,6 +56,11 @@ func (g *Registry) AddDependency(from, to uuid.UUID) error {
 	if err := g.dal.Meta().Batch(muts); err != nil {
 		return fmt.Errorf("core: add dependency %s -> %s: %w", from, to, err)
 	}
+	g.audited(context.Background(), audit.Event{
+		Action: audit.ActionDepAdd, EntityType: audit.EntityModel,
+		EntityID: from.String(), ModelID: from.String(),
+		After: "depends on " + to.String(),
+	})
 	return nil
 }
 
@@ -71,7 +77,15 @@ func (g *Registry) RemoveDependency(from, to uuid.UUID) error {
 		return err
 	}
 	muts = append(muts, bumps...)
-	return g.dal.Meta().Batch(muts)
+	if err := g.dal.Meta().Batch(muts); err != nil {
+		return err
+	}
+	g.audited(context.Background(), audit.Event{
+		Action: audit.ActionDepRemove, EntityType: audit.EntityModel,
+		EntityID: from.String(), ModelID: from.String(),
+		Before: "depends on " + to.String(),
+	})
+	return nil
 }
 
 // Upstreams returns the models that id directly depends on.
@@ -322,9 +336,15 @@ func (g *Registry) productionVersionLocked(id uuid.UUID) (*VersionRecord, error)
 // demoting whichever held that role — the owner's explicit upgrade step
 // after a dependency update (paper §3.4.2).
 func (g *Registry) Promote(versionID uuid.UUID) error {
+	return g.PromoteCtx(context.Background(), versionID)
+}
+
+// PromoteCtx is Promote carrying the caller's context, so the audit event
+// inherits its actor and trace lineage.
+func (g *Registry) PromoteCtx(ctx context.Context, versionID uuid.UUID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.promoteLocked(versionID)
+	return g.promoteLocked(ctx, versionID)
 }
 
 // PromoteInstance promotes the version record realized by an instance —
@@ -332,6 +352,13 @@ func (g *Registry) Promote(versionID uuid.UUID) error {
 // to the version the upload minted (the newest one, should a model ever
 // carry several records for one instance) and promotes that.
 func (g *Registry) PromoteInstance(instanceID uuid.UUID) error {
+	return g.PromoteInstanceCtx(context.Background(), instanceID)
+}
+
+// PromoteInstanceCtx is PromoteInstance with audit/trace lineage from the
+// caller — a rule-driven deployment passes the firing rule's context so
+// the promotion event links back to the trace that triggered it.
+func (g *Registry) PromoteInstanceCtx(ctx context.Context, instanceID uuid.UUID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	in, err := g.GetInstance(instanceID)
@@ -358,10 +385,10 @@ func (g *Registry) PromoteInstance(instanceID uuid.UUID) error {
 	if err != nil {
 		return err
 	}
-	return g.promoteLocked(v.ID)
+	return g.promoteLocked(ctx, v.ID)
 }
 
-func (g *Registry) promoteLocked(versionID uuid.UUID) error {
+func (g *Registry) promoteLocked(ctx context.Context, versionID uuid.UUID) error {
 	row, err := g.dal.Meta().Get(TableVersions, versionID.String())
 	if err != nil {
 		return fmt.Errorf("%w: version %s", ErrNotFound, versionID)
@@ -378,12 +405,14 @@ func (g *Registry) promoteLocked(versionID uuid.UUID) error {
 		return err
 	}
 	var muts []relstore.Mutation
+	before := "none"
 	if !m.ProductionVersion.IsNil() {
 		cur, err := g.versionByIDLocked(m.ProductionVersion)
 		if err != nil {
 			return err
 		}
 		cur.Production = false
+		before = fmt.Sprintf("v%d.%d (%s)", cur.Major, cur.Minor, cur.ID)
 		muts = append(muts, relstore.Mutation{Kind: relstore.MutUpdate, Table: TableVersions, Row: versionToRow(cur)})
 	}
 	v.Production = true
@@ -392,7 +421,23 @@ func (g *Registry) promoteLocked(versionID uuid.UUID) error {
 		relstore.Mutation{Kind: relstore.MutUpdate, Table: TableVersions, Row: versionToRow(v)},
 		relstore.Mutation{Kind: relstore.MutUpdate, Table: TableModels, Row: modelToRow(m)},
 	)
-	return g.dal.Meta().Batch(muts)
+	if err := g.dal.Meta().BatchCtx(ctx, muts); err != nil {
+		return err
+	}
+	// The event lands on the realized instance when the version has one
+	// (so an instance timeline shows its promotions) and joins the model
+	// timeline through model_id either way.
+	entityType, entityID := audit.EntityModel, v.ModelID.String()
+	if !v.InstanceID.IsNil() {
+		entityType, entityID = audit.EntityInstance, v.InstanceID.String()
+	}
+	g.audited(ctx, audit.Event{
+		Action: audit.ActionPromote, EntityType: entityType,
+		EntityID: entityID, ModelID: v.ModelID.String(),
+		Before: before,
+		After:  fmt.Sprintf("v%d.%d (%s)", v.Major, v.Minor, v.ID),
+	})
+	return nil
 }
 
 func sortedIDs(set map[uuid.UUID]bool) []uuid.UUID {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"gallery/internal/audit"
 	"gallery/internal/blobstore"
 	"gallery/internal/clock"
 	"gallery/internal/dal"
@@ -36,6 +37,9 @@ type Options struct {
 	CacheBytes int64
 	// Obs receives DAL metrics; nil uses obs.Default.
 	Obs *obs.Registry
+	// AuditKeep bounds the audit events retained per entity (0 uses
+	// audit.DefaultKeep; negative disables pruning).
+	AuditKeep int
 }
 
 // Registry is the Gallery service core: every API the paper's Thrift
@@ -44,9 +48,10 @@ type Options struct {
 // dependency changes) are serialized internally and written as atomic
 // batches.
 type Registry struct {
-	dal *dal.DAL
-	clk clock.Clock
-	gen *uuid.Generator
+	dal   *dal.DAL
+	clk   clock.Clock
+	gen   *uuid.Generator
+	audit *audit.Log
 
 	// mu serializes read-modify-write sequences such as version bumps
 	// and dependency propagation, which span multiple store calls.
@@ -75,11 +80,35 @@ func New(meta *relstore.Store, blobs *blobstore.Store, opts Options) (*Registry,
 		Refs:       []dal.BlobRef{{Table: TableInstances, LocField: "blob_location"}},
 		Obs:        opts.Obs,
 	})
-	return &Registry{dal: d, clk: opts.Clock, gen: opts.UUIDs}, nil
+	// The lifecycle audit trail lives in the same store, so it shares the
+	// metadata WAL's durability and crash recovery.
+	aud, err := audit.Open(meta, audit.Options{
+		Clock: opts.Clock,
+		UUIDs: opts.UUIDs,
+		Keep:  opts.AuditKeep,
+		Obs:   opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{dal: d, clk: opts.Clock, gen: opts.UUIDs, audit: aud}, nil
 }
 
 // DAL exposes the data access layer for experiments that need its stats.
 func (g *Registry) DAL() *dal.DAL { return g.dal }
+
+// Audit exposes the lifecycle audit trail; subsystems above the core
+// (rule engine, health monitor, HTTP server) record their events here.
+func (g *Registry) Audit() *audit.Log { return g.audit }
+
+// audited best-effort records a lifecycle event; storage failures are
+// already counted by the audit log and must not fail the mutation that
+// succeeded.
+func (g *Registry) audited(ctx context.Context, ev audit.Event) {
+	if g.audit != nil {
+		_ = g.audit.Record(ctx, ev)
+	}
+}
 
 func (g *Registry) now() time.Time { return g.clk.Now() }
 
@@ -88,6 +117,12 @@ func (g *Registry) now() time.Time { return g.clk.Now() }
 // RegisterModel creates a new model record with its declared dependencies
 // and an initial version record, atomically.
 func (g *Registry) RegisterModel(spec ModelSpec) (*Model, error) {
+	return g.RegisterModelCtx(context.Background(), spec)
+}
+
+// RegisterModelCtx is RegisterModel carrying the caller's context, so the
+// audit event inherits its actor and trace lineage.
+func (g *Registry) RegisterModelCtx(ctx context.Context, spec ModelSpec) (*Model, error) {
 	if spec.BaseVersionID == "" {
 		return nil, fmt.Errorf("%w: base version id is required", ErrBadSpec)
 	}
@@ -134,6 +169,12 @@ func (g *Registry) RegisterModel(spec ModelSpec) (*Model, error) {
 	if err := g.dal.Meta().Batch(muts); err != nil {
 		return nil, err
 	}
+	g.audited(ctx, audit.Event{
+		Action: audit.ActionModelRegister, EntityType: audit.EntityModel,
+		EntityID: m.ID.String(), ModelID: m.ID.String(),
+		After:  fmt.Sprintf("v%d.0", major),
+		Detail: fmt.Sprintf("project=%s name=%s base=%s", m.Project, m.Name, m.BaseVersionID),
+	})
 	return m, nil
 }
 
@@ -174,6 +215,12 @@ func (g *Registry) ModelsByBase(baseVersionID string) ([]*Model, error) {
 // The new record's major version is the predecessor's plus one, and the two
 // records are linked through next/previous pointers (§3.3.1).
 func (g *Registry) EvolveModel(prevID uuid.UUID, description string) (*Model, error) {
+	return g.EvolveModelCtx(context.Background(), prevID, description)
+}
+
+// EvolveModelCtx is EvolveModel carrying the caller's context for audit
+// and trace lineage.
+func (g *Registry) EvolveModelCtx(ctx context.Context, prevID uuid.UUID, description string) (*Model, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	prev, err := g.getModelLocked(prevID)
@@ -224,6 +271,13 @@ func (g *Registry) EvolveModel(prevID uuid.UUID, description string) (*Model, er
 	if err := g.dal.Meta().Batch(muts); err != nil {
 		return nil, err
 	}
+	g.audited(ctx, audit.Event{
+		Action: audit.ActionModelEvolve, EntityType: audit.EntityModel,
+		EntityID: next.ID.String(), ModelID: next.ID.String(),
+		Before: fmt.Sprintf("v%d (%s)", prev.Major, prev.ID),
+		After:  fmt.Sprintf("v%d.0", next.Major),
+		Detail: description,
+	})
 	return next, nil
 }
 
@@ -264,14 +318,31 @@ func (g *Registry) Evolution(id uuid.UUID) ([]*Model, error) {
 // consumers keep working until they migrate (paper §3.7, Model
 // Deprecation).
 func (g *Registry) DeprecateModel(id uuid.UUID) error {
+	return g.DeprecateModelCtx(context.Background(), id)
+}
+
+// DeprecateModelCtx is DeprecateModel carrying the caller's context for
+// audit and trace lineage.
+func (g *Registry) DeprecateModelCtx(ctx context.Context, id uuid.UUID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	m, err := g.getModelLocked(id)
 	if err != nil {
 		return err
 	}
+	wasDeprecated := m.Deprecated
 	m.Deprecated = true
-	return g.dal.Meta().Update(TableModels, modelToRow(m))
+	if err := g.dal.Meta().UpdateCtx(ctx, TableModels, modelToRow(m)); err != nil {
+		return err
+	}
+	if !wasDeprecated {
+		g.audited(ctx, audit.Event{
+			Action: audit.ActionModelDeprecate, EntityType: audit.EntityModel,
+			EntityID: id.String(), ModelID: id.String(),
+			Before: "active", After: "deprecated",
+		})
+	}
+	return nil
 }
 
 // --- instances ---
@@ -339,16 +410,51 @@ func (g *Registry) uploadInstanceCtx(ctx context.Context, spec InstanceSpec, blo
 	muts := []relstore.Mutation{
 		{Kind: relstore.MutInsert, Table: TableInstances, Row: instanceToRow(in)},
 	}
-	// The owning model gets a retrained version; downstreams get
-	// dep_update versions, none of them promoted to production.
+	// The owning model gets a retrained version, promoted to production
+	// (the owner trained it deliberately); downstreams get non-production
+	// dep_update versions.
+	beforeProd := "none"
+	if !m.ProductionVersion.IsNil() {
+		if cur, err := g.versionByIDLocked(m.ProductionVersion); err == nil {
+			beforeProd = fmt.Sprintf("v%d.%d (%s)", cur.Major, cur.Minor, cur.ID)
+		}
+	}
 	bumps, err := g.versionBumpsLocked(m.ID, CauseRetrained, in.ID, uuid.Nil)
 	if err != nil {
 		return nil, err
 	}
 	muts = append(muts, bumps...)
 	if err := g.dal.Meta().BatchCtx(ctx, muts); err != nil {
-		// The blob is now an orphan; the DAL garbage collector reclaims it.
+		// The blob is now an orphan; the DAL garbage collector reclaims
+		// it. Audit the half-written state so the blob-first write that
+		// never got its metadata is visible post-hoc.
+		g.audited(ctx, audit.Event{
+			Action: audit.ActionUploadFailed, EntityType: audit.EntityInstance,
+			EntityID: in.ID.String(), ModelID: m.ID.String(),
+			Before: "blob written", After: "metadata write failed",
+			Detail: fmt.Sprintf("blob orphaned at %s (%d bytes): %v", loc, len(blob), err),
+		})
 		return nil, fmt.Errorf("core: metadata write for instance %s (blob orphaned): %w", in.ID, err)
+	}
+	g.audited(ctx, audit.Event{
+		Action: audit.ActionInstanceUpload, EntityType: audit.EntityInstance,
+		EntityID: in.ID.String(), ModelID: m.ID.String(),
+		After:  fmt.Sprintf("blob=%s bytes=%d", loc, len(blob)),
+		Detail: fmt.Sprintf("name=%s city=%s framework=%s", in.Name, in.City, in.Framework),
+	})
+	// The upload implicitly flipped the production pointer (the owner's
+	// retrained version is born promoted); record that transition too so
+	// a timeline reader sees every pointer change, implicit or explicit.
+	if m2, err := g.getModelLocked(m.ID); err == nil && !m2.ProductionVersion.IsNil() {
+		if v2, err := g.versionByIDLocked(m2.ProductionVersion); err == nil {
+			g.audited(ctx, audit.Event{
+				Action: audit.ActionPromote, EntityType: audit.EntityInstance,
+				EntityID: in.ID.String(), ModelID: m.ID.String(),
+				Before: beforeProd,
+				After:  fmt.Sprintf("v%d.%d (%s)", v2.Major, v2.Minor, v2.ID),
+				Detail: "auto-promoted on upload",
+			})
+		}
 	}
 	return in, nil
 }
@@ -403,6 +509,12 @@ func (g *Registry) fetchBlobCtx(ctx context.Context, id uuid.UUID) ([]byte, erro
 // DeprecateInstance flags an instance; fetching by id still works, but
 // default searches skip it.
 func (g *Registry) DeprecateInstance(id uuid.UUID) error {
+	return g.DeprecateInstanceCtx(context.Background(), id)
+}
+
+// DeprecateInstanceCtx is DeprecateInstance carrying the caller's context
+// for audit and trace lineage.
+func (g *Registry) DeprecateInstanceCtx(ctx context.Context, id uuid.UUID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	row, err := g.dal.Meta().Get(TableInstances, id.String())
@@ -412,8 +524,19 @@ func (g *Registry) DeprecateInstance(id uuid.UUID) error {
 	if err != nil {
 		return err
 	}
+	wasDeprecated := row["deprecated"].Bool
 	row["deprecated"] = relstore.Bool(true)
-	return g.dal.Meta().Update(TableInstances, row)
+	if err := g.dal.Meta().UpdateCtx(ctx, TableInstances, row); err != nil {
+		return err
+	}
+	if !wasDeprecated {
+		g.audited(ctx, audit.Event{
+			Action: audit.ActionInstanceDeprecate, EntityType: audit.EntityInstance,
+			EntityID: id.String(), ModelID: row["model_id"].Str,
+			Before: "active", After: "deprecated",
+		})
+	}
+	return nil
 }
 
 // Lineage returns every instance trained under a base version id, sorted

@@ -388,3 +388,25 @@ func TestOnlineDrift(t *testing.T) {
 		t.Error("Format() missing verdict")
 	}
 }
+
+func TestAuditChurnBounded(t *testing.T) {
+	res, err := AuditChurn(200, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bounded() {
+		t.Fatalf("trail unbounded: peak %d for keep=%d", res.PeakLen, res.Keep)
+	}
+	if res.Pruned == 0 {
+		t.Fatal("retention never pruned")
+	}
+	if res.Recorded < 200 {
+		t.Fatalf("recorded only %d events over 200 rounds", res.Recorded)
+	}
+	if res.FinalLen > res.PeakLen {
+		t.Fatalf("final %d > peak %d", res.FinalLen, res.PeakLen)
+	}
+	if !strings.Contains(res.Format(), "bounded=true") {
+		t.Error("Format() missing verdict")
+	}
+}

@@ -18,10 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"gallery/internal/api"
+	"gallery/internal/audit"
 	"gallery/internal/core"
 	"gallery/internal/obs"
 	"gallery/internal/obs/sketch"
@@ -485,8 +487,21 @@ func (m *Monitor) evaluateLocked(ctx context.Context, st *modelState) {
 			"collecting data: %d/%d reference windows, %d live samples",
 			st.refWindows, m.cfg.ReferenceWindows, live.Count))
 	}
+	prev := st.status
 	st.status = status
 	st.reasons = reasons
+
+	if prev != status && m.reg != nil && m.reg.Audit() != nil {
+		_ = m.reg.Audit().Record(audit.WithActor(ctx, "health-monitor"), audit.Event{
+			Action:     audit.ActionHealthTransition,
+			EntityType: audit.EntityModel,
+			EntityID:   st.modelID.String(),
+			ModelID:    st.modelID.String(),
+			Before:     string(prev),
+			After:      string(status),
+			Detail:     strings.Join(reasons, "; "),
+		})
+	}
 
 	m.publishGauges(st)
 	m.emitEvents(ctx, st)

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 
 	"gallery/internal/core"
@@ -17,6 +18,12 @@ func DeployAction(reg *core.Registry) Action {
 		if ctx.Instance == nil {
 			return fmt.Errorf("rules: deploy action fired without an instance")
 		}
-		return reg.PromoteInstance(ctx.Instance.ID)
+		// ctx.Ctx threads the triggering event's trace and actor into the
+		// promotion's audit event.
+		c := ctx.Ctx
+		if c == nil {
+			c = context.Background()
+		}
+		return reg.PromoteInstanceCtx(c, ctx.Instance.ID)
 	}
 }

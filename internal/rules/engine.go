@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"gallery/internal/audit"
 	"gallery/internal/clock"
 	"gallery/internal/core"
 	"gallery/internal/expr"
@@ -22,6 +24,10 @@ type Action func(ctx *ActionContext) error
 
 // ActionContext carries everything a callback needs.
 type ActionContext struct {
+	// Ctx is the firing rule evaluation's context: it carries the trace
+	// lineage of the triggering event and the audit actor, so callbacks
+	// that mutate the registry should pass it to the *Ctx variants.
+	Ctx      context.Context
 	Rule     *Rule
 	Instance *core.Instance
 	Metrics  map[string]float64
@@ -381,12 +387,15 @@ func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.
 		return
 	}
 	metrics, _ := env.Vars["metrics"].(map[string]any)
+	ctx = audit.WithActor(ctx, "rules")
 	ac := &ActionContext{
+		Ctx:      ctx,
 		Rule:     rule,
 		Instance: in,
 		Metrics:  toFloatMap(metrics),
 		Time:     e.clk.Now(),
 	}
+	var fired, failed []string
 	for _, ref := range rule.Actions {
 		e.mu.Lock()
 		a, known := e.actions[ref.Action]
@@ -420,11 +429,37 @@ func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.
 			e.mx.actionErrors.Inc()
 		}
 		if err != nil {
+			failed = append(failed, ref.Action)
 			e.recordAlert(Alert{Time: e.clk.Now(), RuleUUID: rule.UUID, InstanceID: instanceID,
 				Action: ref.Action, Message: "action failed: " + err.Error()})
+		} else {
+			fired = append(fired, ref.Action)
 		}
 	}
+	e.auditFiring(ctx, rule, in, instanceID, fired, failed)
 	span.End()
+}
+
+// auditFiring records a rule firing on the matched instance's audit
+// timeline, with the owning model joined through model_id.
+func (e *Engine) auditFiring(ctx context.Context, rule *Rule, in *core.Instance, instanceID uuid.UUID, fired, failed []string) {
+	if e.reg == nil || e.reg.Audit() == nil {
+		return
+	}
+	detail := "actions: " + strings.Join(fired, ",")
+	if len(failed) > 0 {
+		detail += " failed: " + strings.Join(failed, ",")
+	}
+	ev := audit.Event{
+		Action:     audit.ActionRuleFire,
+		EntityType: audit.EntityInstance,
+		EntityID:   instanceID.String(),
+		Detail:     fmt.Sprintf("rule=%s (%s) %s", rule.Name, rule.UUID, detail),
+	}
+	if in != nil {
+		ev.ModelID = in.ModelID.String()
+	}
+	_ = e.reg.Audit().Record(ctx, ev)
 }
 
 // condition evaluates given && when against env.

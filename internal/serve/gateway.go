@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gallery/internal/api"
+	"gallery/internal/audit"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
 	"gallery/internal/obs/trace"
@@ -43,6 +44,15 @@ type Source interface {
 	ProductionVersion(modelID string) (api.VersionRecord, error)
 	// FetchBlob downloads an instance's serialized learner bytes.
 	FetchBlob(instanceID string) ([]byte, error)
+}
+
+// AuditSink receives the gateway's lifecycle audit events — today only
+// serve.swap, emitted when a hot swap replaces the served learner. The
+// gateway has no audit store of its own, so the sink ships events to
+// galleryd's trail (POST /v1/audit); *client.Client implements it.
+// Reporting is best-effort: a sink failure never blocks or fails a swap.
+type AuditSink interface {
+	ReportAuditEvent(ctx context.Context, ev api.AuditEvent) error
 }
 
 // ctxSource is the optional trace-propagating extension of Source.
@@ -92,6 +102,9 @@ type Options struct {
 	// Zero uses the default; negative disables the flush loop (tests
 	// drive FlushHealth directly).
 	HealthInterval time.Duration
+	// AuditSink, when set, reports hot swaps to Gallery's lifecycle
+	// audit trail. Nil disables reporting.
+	AuditSink AuditSink
 }
 
 // served is one immutable loaded-model snapshot. Swaps replace the whole
@@ -164,6 +177,7 @@ type gatewayMetrics struct {
 	loadedModels    *obs.Gauge
 	healthFlushes   *obs.Counter
 	healthFlushErrs *obs.Counter
+	auditErrs       *obs.Counter
 }
 
 // batchSizeBuckets covers batch sizes 1..256.
@@ -216,6 +230,7 @@ func New(src Source, opts Options) *Gateway {
 			loadedModels:    opts.Obs.Gauge("serve_loaded_models"),
 			healthFlushes:   opts.Obs.Counter("serve_health_flushes_total"),
 			healthFlushErrs: opts.Obs.Counter("serve_health_flush_errors_total"),
+			auditErrs:       opts.Obs.Counter("serve_audit_report_errors_total"),
 		},
 	}
 	if opts.RefreshInterval > 0 {
@@ -566,11 +581,39 @@ func (g *Gateway) refresh(e *entry) {
 	}
 	g.mx.swaps.Inc()
 	g.setVersionGauge(e, &v)
+	g.reportSwap(ctx, e.modelID, cur, &v, span)
 	if span != nil {
 		span.Annotate("swap", "true")
 		span.Annotate("version", v.Version)
 	}
 	span.End()
+}
+
+// reportSwap ships one serve.swap audit event to the configured sink. The
+// gateway runs without a DAL, so this is how hot swaps reach the same
+// trail as the promotions that caused them — joined by model ID and by
+// the refresh trace. Best-effort: failures count, never block.
+func (g *Gateway) reportSwap(ctx context.Context, modelID string, prev *served, v *api.VersionRecord, span *trace.Span) {
+	if g.opts.AuditSink == nil {
+		return
+	}
+	before := "none"
+	if prev != nil {
+		before = fmt.Sprintf("v%s (%s)", prev.version.Version, prev.version.InstanceID)
+	}
+	ev := api.AuditEvent{
+		Actor:      "gateway:" + g.opts.Name,
+		Action:     audit.ActionServeSwap,
+		EntityType: audit.EntityInstance,
+		EntityID:   v.InstanceID,
+		ModelID:    modelID,
+		Before:     before,
+		After:      fmt.Sprintf("v%s (%s)", v.Version, v.InstanceID),
+		TraceID:    span.TraceIDString(),
+	}
+	if err := g.opts.AuditSink.ReportAuditEvent(ctx, ev); err != nil {
+		g.mx.auditErrs.Inc()
+	}
 }
 
 // setVersionGauge publishes which version a model serves, encoded as

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
 
 	"gallery/internal/api"
 	"gallery/internal/client"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
+	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
 )
 
@@ -26,6 +29,7 @@ type Handler struct {
 	obs       *obs.Registry
 	accessLog *slog.Logger
 	tracer    *trace.Tracer
+	logs      *obslog.Ring
 	pprof     bool
 	h         http.Handler
 }
@@ -51,6 +55,13 @@ func WithPprof() HandlerOption {
 	return func(h *Handler) { h.pprof = true }
 }
 
+// WithLogRing serves the process's structured-log ring at
+// GET /v1/debug/logs — the same contract galleryd exposes, so one set of
+// tooling (galleryctl logs) follows either tier.
+func WithLogRing(r *obslog.Ring) HandlerOption {
+	return func(h *Handler) { h.logs = r }
+}
+
 // NewHandler wraps a Gateway in its HTTP API.
 func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	h := &Handler{gw: gw, mux: http.NewServeMux(), obs: gw.obs}
@@ -67,6 +78,9 @@ func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	if h.tracer != nil {
 		h.mux.HandleFunc("GET /v1/debug/traces", h.handleListTraces)
 		h.mux.HandleFunc("GET /v1/debug/traces/{id}", h.handleGetTrace)
+	}
+	if h.logs != nil {
+		h.mux.HandleFunc("GET /v1/debug/logs", h.handleLogs)
 	}
 	if h.pprof {
 		httpmw.RegisterPprof(h.mux)
@@ -149,6 +163,43 @@ func (h *Handler) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeServeJSON(w, http.StatusOK, d)
+}
+
+// handleLogs serves the in-memory structured-log ring with the same query
+// parameters as galleryd's /v1/debug/logs: level, since (RFC3339 or a
+// relative duration), after (cursor from a prior next_seq), limit.
+func (h *Handler) handleLogs(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	f := obslog.Filter{MinLevel: obslog.ParseLevel(qp.Get("level"))}
+	if v := qp.Get("since"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			f.Since = time.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, v); err == nil {
+			f.Since = t
+		} else {
+			writeServeErr(w, http.StatusBadRequest, fmt.Errorf("bad since %q", v))
+			return
+		}
+	}
+	if v := qp.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeServeErr(w, http.StatusBadRequest, fmt.Errorf("bad after cursor %q", v))
+			return
+		}
+		f.AfterSeq = n
+		f.HasAfterSeq = true
+	}
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeServeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		f.Limit = n
+	}
+	entries, next := h.logs.Entries(f)
+	writeServeJSON(w, http.StatusOK, api.DebugLogsResponse{Entries: entries, NextSeq: next})
 }
 
 // predictStatus maps a load/predict error onto a status code. Gallery's

@@ -17,10 +17,12 @@ import (
 	"sync"
 
 	"gallery/internal/api"
+	"gallery/internal/audit"
 	"gallery/internal/core"
 	"gallery/internal/health"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
+	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
@@ -54,6 +56,13 @@ type Options struct {
 	// Health, when non-nil, mounts the continuous model-health endpoints
 	// (POST /v1/health/observations, GET /v1/health/models[/{id}]).
 	Health *health.Monitor
+	// Logs, when non-nil, is the bounded in-memory ring served at
+	// GET /v1/debug/logs. Access-log lines and the server's ad-hoc error
+	// logs are routed through it (trace-correlated), teeing to AccessLog
+	// when that is also set.
+	Logs *obslog.Ring
+	// LogLevel gates what enters Logs (default info).
+	LogLevel slog.Level
 }
 
 // Server wires HTTP routes to the registry and rule engine.
@@ -67,6 +76,7 @@ type Server struct {
 
 	obs        *obs.Registry
 	accessLog  *slog.Logger
+	logs       *obslog.Ring
 	tracer     *trace.Tracer
 	maxBody    int64
 	allLatency *obs.Histogram // route-less latency; headline p50/p95 for /v1/stats
@@ -132,19 +142,33 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 		events: make(chan metricEvent, opts.EventQueue),
 		done:   make(chan struct{}),
 	}
+	// Log pipeline: the ring (queryable at /v1/debug/logs) in front,
+	// teeing to the AccessLog writer as plain JSON lines when set. With
+	// no ring the writer keeps its original direct handler.
+	var next slog.Handler
 	if opts.AccessLog != nil {
-		s.accessLog = slog.New(slog.NewJSONHandler(opts.AccessLog, nil))
+		next = slog.NewJSONHandler(opts.AccessLog, nil)
+	}
+	s.logs = opts.Logs
+	switch {
+	case opts.Logs != nil:
+		s.accessLog = slog.New(obslog.NewHandler(opts.Logs, opts.LogLevel, next))
+	case next != nil:
+		s.accessLog = slog.New(next)
 	}
 	s.routes()
 	if opts.Pprof {
 		httpmw.RegisterPprof(s.mux)
 	}
-	s.h = httpmw.Wrap(s.mux, httpmw.Options{
+	// withActor sits outside httpmw so the mux sees the same *Request the
+	// middleware holds (route-pattern attribution relies on that); the
+	// actor value still flows inward through the derived context.
+	s.h = withActor(httpmw.Wrap(s.mux, httpmw.Options{
 		Obs:        s.obs,
 		AccessLog:  s.accessLog,
 		Tracer:     s.tracer,
 		AllLatency: s.allLatency,
-	})
+	}))
 	go s.eventLoop()
 	return s
 }
@@ -257,6 +281,10 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /v1/search", s.handleSearch)
 	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
 	m.HandleFunc("GET /v1/stats", s.handleStats)
+	m.HandleFunc("GET /v1/audit", s.handleListAudit)
+	m.HandleFunc("POST /v1/audit", s.handleIngestAudit)
+	m.HandleFunc("GET /v1/audit/entity/{id}", s.handleEntityTimeline)
+	m.HandleFunc("GET /v1/debug/logs", s.handleDebugLogs)
 	m.HandleFunc("GET /v1/debug/metrics", s.handleDebugMetrics)
 	m.HandleFunc("GET /v1/debug/traces", s.handleListTraces)
 	m.HandleFunc("GET /v1/debug/traces/{id}", s.handleGetTrace)
@@ -340,7 +368,7 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.Upstreams = append(spec.Upstreams, u)
 	}
-	m, err := s.reg.RegisterModel(spec)
+	m, err := s.reg.RegisterModelCtx(r.Context(), spec)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -387,7 +415,7 @@ func (s *Server) handleEvolveModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	m, err := s.reg.EvolveModel(id, req.Description)
+	m, err := s.reg.EvolveModelCtx(r.Context(), id, req.Description)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -415,7 +443,7 @@ func (s *Server) handleDeprecateModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.reg.DeprecateModel(id); err != nil {
+	if err := s.reg.DeprecateModelCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -460,7 +488,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.reg.Promote(id); err != nil {
+	if err := s.reg.PromoteCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -548,7 +576,7 @@ func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: bad model_id", core.ErrBadSpec))
 		return
 	}
-	in, err := s.reg.UploadInstance(core.InstanceSpec{
+	in, err := s.reg.UploadInstanceCtx(r.Context(), core.InstanceSpec{
 		ModelID:      modelID,
 		Name:         req.Name,
 		City:         req.City,
@@ -597,11 +625,23 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(data); err != nil {
 		// The response is committed; all we can do is record that the
-		// client went away mid-transfer.
+		// client went away mid-transfer — in the log ring (correlated to
+		// this request's trace) and on the instance's audit timeline, so
+		// the aborted transfer is visible post-hoc next to the serving
+		// events it may explain.
 		s.cBlobWriteErrs.Inc()
 		if s.accessLog != nil {
-			s.accessLog.Error("blob write failed", "instance", id.String(), "err", err.Error())
+			s.accessLog.ErrorContext(r.Context(), "blob write failed",
+				"instance", id.String(), "bytes", len(data), "err", err.Error())
 		}
+		_ = s.reg.Audit().Record(r.Context(), audit.Event{
+			Action:     audit.ActionBlobServeFailed,
+			EntityType: audit.EntityInstance,
+			EntityID:   id.String(),
+			Before:     fmt.Sprintf("serving %d bytes", len(data)),
+			After:      "transfer aborted",
+			Detail:     err.Error(),
+		})
 	}
 }
 
@@ -614,7 +654,7 @@ func (s *Server) handlePromoteInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.reg.PromoteInstance(id); err != nil {
+	if err := s.reg.PromoteInstanceCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -627,7 +667,7 @@ func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	if err := s.reg.DeprecateInstance(id); err != nil {
+	if err := s.reg.DeprecateInstanceCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -645,7 +685,7 @@ func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	m, err := s.reg.InsertMetric(id, req.Name, core.Scope(req.Scope), req.Value)
+	m, err := s.reg.InsertMetricCtx(r.Context(), id, req.Name, core.Scope(req.Scope), req.Value)
 	if err != nil {
 		writeErr(w, err)
 		return
