@@ -9,7 +9,18 @@
 //
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
-// serving, tiered.
+// serving, onlinedrift, auditchurn, relquery, tiered.
+//
+// Perf trajectory: experiments that measure performance also emit
+// machine-readable metrics (internal/benchfmt).
+//
+//	benchharness -exp serving -bench-dir .   # write BENCH_serving.json
+//	benchharness -exp serving -baseline .    # compare vs checked-in file
+//
+// With -baseline, each experiment's metrics are compared against the
+// committed BENCH_<exp>.json: gated (machine-independent) metrics beyond
+// their tolerance band fail the run, and a trajectory summary is printed
+// either way. See DESIGN.md "Perf trajectory" for the policy.
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"gallery/internal/benchfmt"
 	"gallery/internal/experiments"
 	"gallery/internal/obs"
 )
@@ -31,10 +43,21 @@ func (f *expFlag) Set(v string) error {
 	return nil
 }
 
+// experiment is one runnable evaluation item. run returns the paper-style
+// text plus optional benchfmt metrics (nil for purely qualitative
+// experiments, which then have no BENCH file).
 type experiment struct {
 	name  string
 	title string
-	run   func() (string, error)
+	run   func() (string, []benchfmt.Metric, error)
+}
+
+// text adapts a metrics-free experiment.
+func text(f func() (string, error)) func() (string, []benchfmt.Metric, error) {
+	return func() (string, []benchfmt.Metric, error) {
+		out, err := f()
+		return out, nil, err
+	}
 }
 
 func main() {
@@ -42,6 +65,9 @@ func main() {
 	flag.Var(&picks, "exp", "experiment to run (repeatable; default all)")
 	full := flag.Bool("full", false, "run the expensive full-scale tiers (1M instances)")
 	metrics := flag.Bool("metrics", false, "dump the process metric registry snapshot after the experiments")
+	benchDir := flag.String("bench-dir", "", "directory to write BENCH_<exp>.json baselines into")
+	baseline := flag.String("baseline", "", "directory holding BENCH_<exp>.json baselines to compare against; gated regressions fail the run")
+	tol := flag.Float64("tol", 0.25, "default tolerance band for gated metrics without their own (fraction of baseline)")
 	flag.Parse()
 
 	scaleTiers := []int{10_000, 100_000}
@@ -50,70 +76,70 @@ func main() {
 	}
 
 	all := []experiment{
-		{"table1", "E1 / Table 1 — feature comparison (Gallery row measured by probes)", func() (string, error) {
+		{"table1", "E1 / Table 1 — feature comparison (Gallery row measured by probes)", text(func() (string, error) {
 			rows, err := experiments.Table1()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatTable1(rows), nil
-		}},
-		{"fig1", "E2 + E11 / Figure 1 — model lifecycle driven end to end (incl. drift-retrain loop)", func() (string, error) {
+		})},
+		{"fig1", "E2 + E11 / Figure 1 — model lifecycle driven end to end (incl. drift-retrain loop)", text(func() (string, error) {
 			res, err := experiments.Lifecycle()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"fig4", "E4 / Figure 4 — base-version-id lineage", func() (string, error) {
+		})},
+		{"fig4", "E4 / Figure 4 — base-version-id lineage", text(func() (string, error) {
 			res, err := experiments.LineageFigure4()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"fig5-7", "E5 / Figures 5–7 — dependency graph version propagation", func() (string, error) {
+		})},
+		{"fig5-7", "E5 / Figures 5–7 — dependency graph version propagation", text(func() (string, error) {
 			steps, err := experiments.DependencyFigures()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatDepSteps(steps), nil
-		}},
-		{"fig8", "E6 / Figure 8 — rule engine workflow (both clients)", func() (string, error) {
+		})},
+		{"fig8", "E6 / Figure 8 — rule engine workflow (both clients)", text(func() (string, error) {
 			res, err := experiments.RuleEngineFigure8()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"scale", "E7 — metadata-layer scalability toward the paper's 1M instances", func() (string, error) {
+		})},
+		{"scale", "E7 — metadata-layer scalability toward the paper's 1M instances", func() (string, []benchfmt.Metric, error) {
 			rs, err := experiments.Scale(scaleTiers)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
-			return experiments.FormatScale(rs), nil
+			return experiments.FormatScale(rs), experiments.ScaleBenchMetrics(rs), nil
 		}},
-		{"switching", "E8 / §4.2 — dynamic model switching vs static served model", func() (string, error) {
+		{"switching", "E8 / §4.2 — dynamic model switching vs static served model", text(func() (string, error) {
 			res, err := experiments.DynamicSwitching(3, 11)
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"deployment", "E9 + E14 / §4.2, §4 — deployment and daily management cost", func() (string, error) {
+		})},
+		{"deployment", "E9 + E14 / §4.2, §4 — deployment and daily management cost", text(func() (string, error) {
 			res, err := experiments.DeploymentCost(100)
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"simulation", "E10 / §4.3 — simulation platform resource savings", func() (string, error) {
+		})},
+		{"simulation", "E10 / §4.3 — simulation platform resource savings", text(func() (string, error) {
 			res, err := experiments.SimulationSavings()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"drift", "E11 / §3.6 — drift detection triggers retraining (subset of fig1)", func() (string, error) {
+		})},
+		{"drift", "E11 / §3.6 — drift detection triggers retraining (subset of fig1)", text(func() (string, error) {
 			res, err := experiments.Lifecycle()
 			if err != nil {
 				return "", err
@@ -122,75 +148,82 @@ func main() {
 				"rule engine retrain triggered=%v; recovered MAPE %.2f%%\n",
 				res.PreShiftMAPE, res.DriftedMAPE, res.Drift.Degradation*100, res.Drift.Drifted,
 				res.RetrainTriggered, res.RecoveredMAPE), nil
-		}},
-		{"skew", "E12 / §3.6 — production skew detection", func() (string, error) {
+		})},
+		{"skew", "E12 / §3.6 — production skew detection", text(func() (string, error) {
 			res, err := experiments.SkewDetection()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"consistency", "E13 / §3.5 — blob-first write ordering under injected failures", func() (string, error) {
+		})},
+		{"consistency", "E13 / §3.5 — blob-first write ordering under injected failures", text(func() (string, error) {
 			res, err := experiments.WriteOrdering(2000, 7, 11)
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"classes", "E16 (extension) / §4.2 — per-city model-class championship", func() (string, error) {
+		})},
+		{"classes", "E16 (extension) / §4.2 — per-city model-class championship", text(func() (string, error) {
 			res, err := experiments.ModelClassChampionship()
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"reposition", "E17 (extension) / §4.2 — forecast-driven driver repositioning", func() (string, error) {
+		})},
+		{"reposition", "E17 (extension) / §4.2 — forecast-driven driver repositioning", text(func() (string, error) {
 			res, err := experiments.DriverRepositioning(3)
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
-		}},
-		{"serving", "E18 (extension) / §2 — prediction serving gateway, micro-batching ablation", func() (string, error) {
+		})},
+		{"serving", "E18 (extension) / §2 — prediction serving gateway, micro-batching ablation", func() (string, []benchfmt.Metric, error) {
 			res, err := experiments.ServingGateway(8, 5000)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
-			return res.Format(), nil
+			return res.Format(), res.BenchMetrics(), nil
 		}},
-		{"onlinedrift", "E19 (extension) / §3.6 — continuous health: serving sketches to online drift detection", func() (string, error) {
+		{"onlinedrift", "E19 (extension) / §3.6 — continuous health: serving sketches to online drift detection", func() (string, []benchfmt.Metric, error) {
 			res, err := experiments.OnlineDrift(4, 4)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
 			if res.DegradedAt == 0 {
-				return "", fmt.Errorf("onlinedrift: monitor never flipped to degraded")
+				return "", nil, fmt.Errorf("onlinedrift: monitor never flipped to degraded")
 			}
 			if res.RetrainFired == 0 {
-				return "", fmt.Errorf("onlinedrift: retrain rule never fired")
+				return "", nil, fmt.Errorf("onlinedrift: retrain rule never fired")
 			}
-			return res.Format(), nil
+			return res.Format(), res.BenchMetrics(), nil
 		}},
-		{"auditchurn", "E20 (extension) / §3 — audit trail stays bounded under promotion churn", func() (string, error) {
+		{"auditchurn", "E20 (extension) / §3 — audit trail stays bounded under promotion churn", func() (string, []benchfmt.Metric, error) {
 			res, err := experiments.AuditChurn(400, 16)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
 			if !res.Bounded() {
-				return "", fmt.Errorf("auditchurn: trail unbounded: peak %d events for keep=%d", res.PeakLen, res.Keep)
+				return "", nil, fmt.Errorf("auditchurn: trail unbounded: peak %d events for keep=%d", res.PeakLen, res.Keep)
 			}
 			if res.Pruned == 0 {
-				return "", fmt.Errorf("auditchurn: retention never pruned anything over %d rounds", res.Rounds)
+				return "", nil, fmt.Errorf("auditchurn: retention never pruned anything over %d rounds", res.Rounds)
 			}
-			return res.Format(), nil
+			return res.Format(), res.BenchMetrics(), nil
 		}},
-		{"tiered", "E15 / §6.3 — tiered service offering", func() (string, error) {
+		{"relquery", "E21 (extension) / §3.5 — relstore query planner hot paths", func() (string, []benchfmt.Metric, error) {
+			res, err := experiments.RelQuery(20_000, 200)
+			if err != nil {
+				return "", nil, err
+			}
+			return res.Format(), res.BenchMetrics(), nil
+		}},
+		{"tiered", "E15 / §6.3 — tiered service offering", text(func() (string, error) {
 			rs, err := experiments.TieredOnboarding()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatTiers(rs), nil
-		}},
+		})},
 	}
 
 	selected := map[string]bool{}
@@ -208,14 +241,14 @@ func main() {
 		}
 	}
 
-	failed := 0
+	failed, regressed := 0, 0
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
 		}
 		fmt.Printf("=== %s: %s ===\n", e.name, e.title)
 		start := time.Now()
-		out, err := e.run()
+		out, ms, err := e.run()
 		if err != nil {
 			fmt.Printf("FAILED: %v\n\n", err)
 			failed++
@@ -223,6 +256,37 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		if len(ms) == 0 {
+			continue
+		}
+		cur := benchfmt.Result{Experiment: e.name, Metrics: ms}
+		if *benchDir != "" {
+			if err := benchfmt.Write(*benchDir, cur); err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: %v\n", err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s\n\n", benchfmt.FileName(e.name))
+		}
+		if *baseline != "" {
+			base, ok, err := benchfmt.LoadBaseline(*baseline, e.name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: %v\n", err)
+				failed++
+				continue
+			}
+			if !ok {
+				fmt.Printf("no baseline %s; skipping comparison\n\n", benchfmt.FileName(e.name))
+				continue
+			}
+			deltas, bad := benchfmt.Compare(base, cur, *tol)
+			fmt.Print(benchfmt.FormatDeltas(e.name, deltas))
+			if bad {
+				fmt.Printf("REGRESSED vs %s (tolerance %.0f%% default)\n", benchfmt.FileName(e.name), *tol*100)
+				regressed++
+			}
+			fmt.Println()
+		}
 	}
 	if *metrics {
 		fmt.Println("=== metrics: process registry snapshot ===")
@@ -230,7 +294,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchharness: dump metrics: %v\n", err)
 		}
 	}
-	if failed > 0 {
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchharness: %d experiment(s) regressed beyond tolerance\n", regressed)
+	}
+	if failed > 0 || regressed > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,178 @@
+package benchfmt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func metric(name string, value float64, better string, tol float64) Metric {
+	return Metric{Name: name, Value: value, Better: better, Tol: tol}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := Result{
+		Experiment: "serving",
+		Metrics: []Metric{
+			{Name: "qps", Unit: "ops/s", Value: 12345.5, Better: Info},
+			{Name: "allocs_per_op", Value: 3, Better: LowerIsBetter, Tol: 0.5},
+		},
+	}
+	if err := Write(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(filepath.Join(dir, FileName("serving")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion {
+		t.Fatalf("schema = %d", back.Schema)
+	}
+	if len(back.Metrics) != 2 || back.Metrics[1].Tol != 0.5 || back.Metrics[0].Unit != "ops/s" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestLoadBaselineMissingIsNotError(t *testing.T) {
+	_, ok, err := LoadBaseline(t.TempDir(), "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing baseline reported ok")
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, Result{Experiment: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName("x"))
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	// Corrupt the schema number.
+	b := []byte(`{"schema": 999, "experiment": "x"}`)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema load err = %v", err)
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	base := Result{Experiment: "e", Metrics: []Metric{
+		metric("lat", 100, LowerIsBetter, 0.2),
+		metric("thr", 1000, HigherIsBetter, 0.2),
+		metric("ns", 50, Info, 0),
+		metric("stable", 7, LowerIsBetter, 0),
+	}}
+
+	// Within tolerance: no regression.
+	cur := Result{Experiment: "e", Metrics: []Metric{
+		metric("lat", 110, LowerIsBetter, 0.2),
+		metric("thr", 900, HigherIsBetter, 0.2),
+		metric("ns", 5000, Info, 0), // info may move arbitrarily
+		metric("stable", 7, LowerIsBetter, 0),
+	}}
+	deltas, regressed := Compare(base, cur, 0.25)
+	if regressed {
+		t.Fatalf("within-tolerance rerun regressed: %+v", deltas)
+	}
+
+	// Latency blowout regresses.
+	cur.Metrics[0].Value = 200
+	if _, regressed := Compare(base, cur, 0.25); !regressed {
+		t.Fatal("2x latency did not regress")
+	}
+	cur.Metrics[0].Value = 100
+
+	// Throughput collapse regresses.
+	cur.Metrics[1].Value = 500
+	if _, regressed := Compare(base, cur, 0.25); !regressed {
+		t.Fatal("halved throughput did not regress")
+	}
+	cur.Metrics[1].Value = 1000
+
+	// Default tolerance applies when the metric carries none.
+	cur.Metrics[3].Value = 8 // +14% < default 25%
+	if _, regressed := Compare(base, cur, 0.25); regressed {
+		t.Fatal("+14% under default tol 25% regressed")
+	}
+	cur.Metrics[3].Value = 10 // +43%
+	if _, regressed := Compare(base, cur, 0.25); !regressed {
+		t.Fatal("+43% over default tol 25% passed")
+	}
+}
+
+func TestCompareGoneGatedMetricRegresses(t *testing.T) {
+	base := Result{Experiment: "e", Metrics: []Metric{
+		metric("gated", 5, LowerIsBetter, 0.1),
+		metric("chatty", 5, Info, 0),
+	}}
+	cur := Result{Experiment: "e"}
+	deltas, regressed := Compare(base, cur, 0.25)
+	if !regressed {
+		t.Fatal("vanished gated metric did not regress")
+	}
+	var gone, infoGone string
+	for _, d := range deltas {
+		switch d.Name {
+		case "gated":
+			gone = d.Status
+		case "chatty":
+			infoGone = d.Status
+		}
+	}
+	if gone != StatusRegressed {
+		t.Fatalf("gated gone status = %s", gone)
+	}
+	if infoGone != StatusGone {
+		t.Fatalf("info gone status = %s", infoGone)
+	}
+}
+
+func TestCompareNewMetricIsNotRegression(t *testing.T) {
+	base := Result{Experiment: "e"}
+	cur := Result{Experiment: "e", Metrics: []Metric{metric("fresh", 1, LowerIsBetter, 0)}}
+	deltas, regressed := Compare(base, cur, 0.25)
+	if regressed {
+		t.Fatal("new metric regressed")
+	}
+	if len(deltas) != 1 || deltas[0].Status != StatusNew {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := Result{Experiment: "e", Metrics: []Metric{metric("allocs", 0, LowerIsBetter, 0.5)}}
+	cur := Result{Experiment: "e", Metrics: []Metric{metric("allocs", 0.3, LowerIsBetter, 0.5)}}
+	if _, regressed := Compare(base, cur, 0.25); regressed {
+		t.Fatal("0 -> 0.3 with absolute allowance 0.5 regressed")
+	}
+	cur.Metrics[0].Value = 2
+	if _, regressed := Compare(base, cur, 0.25); !regressed {
+		t.Fatal("0 -> 2 allocs/op passed the gate")
+	}
+}
+
+func TestFormatDeltas(t *testing.T) {
+	deltas := []Delta{
+		{Name: "lat", Unit: "s", Base: 1, Cur: 1.1, Change: 0.1, Status: StatusOK},
+		{Name: "new", Cur: 3, Status: StatusNew},
+		{Name: "inf", Base: 0, Cur: 1, Change: math.Inf(1), Status: StatusInfo},
+	}
+	out := FormatDeltas("exp", deltas)
+	for _, want := range []string{"exp:", "lat (s)", "+10.0%", "new", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

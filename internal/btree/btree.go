@@ -328,6 +328,45 @@ func (t *Tree) Descend(v Visitor) {
 	}
 }
 
+// DescendLessOrEqual visits items <= pivot in descending order. It is
+// the mirror of AscendGreaterOrEqual and gives index scans an O(log n)
+// seek to the upper bound of a range before walking downward.
+func (t *Tree) DescendLessOrEqual(pivot Item, v Visitor) {
+	if t.root != nil {
+		t.root.descendLessOrEqual(pivot, v)
+	}
+}
+
+func (n *node) descendLessOrEqual(le Item, v Visitor) bool {
+	i, found := n.find(le)
+	if found {
+		// items[i] == le: everything under child i is smaller, so the
+		// bound no longer constrains the recursion.
+		if !v(n.items[i]) {
+			return false
+		}
+		if len(n.children) > 0 && !n.children[i].descend(v) {
+			return false
+		}
+		i--
+	} else {
+		// items[i] is the first item > le; child i may still straddle it.
+		if len(n.children) > 0 && !n.children[i].descendLessOrEqual(le, v) {
+			return false
+		}
+		i--
+	}
+	for ; i >= 0; i-- {
+		if !v(n.items[i]) {
+			return false
+		}
+		if len(n.children) > 0 && !n.children[i].descend(v) {
+			return false
+		}
+	}
+	return true
+}
+
 func (n *node) descend(v Visitor) bool {
 	for i := len(n.items) - 1; i >= 0; i-- {
 		if len(n.children) > 0 {

@@ -337,3 +337,76 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(intItem(i & (n - 1)))
 	}
 }
+
+func TestDescendLessOrEqual(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // evens only
+		tr.ReplaceOrInsert(intItem(i))
+	}
+	var got []int
+	tr.DescendLessOrEqual(intItem(50), func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	if len(got) != 26 || got[0] != 50 || got[len(got)-1] != 0 {
+		t.Fatalf("DescendLessOrEqual(50) = %v", got)
+	}
+	// Pivot between keys starts below it.
+	got = got[:0]
+	tr.DescendLessOrEqual(intItem(51), func(it Item) bool {
+		got = append(got, int(it.(intItem)))
+		return true
+	})
+	if len(got) != 26 || got[0] != 50 {
+		t.Fatalf("DescendLessOrEqual(51) starts at %v", got[0])
+	}
+	// Early stop.
+	count := 0
+	tr.DescendLessOrEqual(intItem(98), func(Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Pivot below the minimum visits nothing.
+	tr.DescendLessOrEqual(intItem(-1), func(Item) bool {
+		t.Fatal("visited item below all keys")
+		return false
+	})
+}
+
+func TestQuickDescendLessOrEqual(t *testing.T) {
+	err := quick.Check(func(keys []uint16, pivot uint16) bool {
+		tr := New()
+		present := map[int]bool{}
+		for _, k := range keys {
+			tr.ReplaceOrInsert(intItem(int(k)))
+			present[int(k)] = true
+		}
+		var want []int
+		for k := range present {
+			if k <= int(pivot) {
+				want = append(want, k)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		var got []int
+		tr.DescendLessOrEqual(intItem(int(pivot)), func(it Item) bool {
+			got = append(got, int(it.(intItem)))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -410,3 +410,32 @@ func TestAuditChurnBounded(t *testing.T) {
 		t.Error("Format() missing verdict")
 	}
 }
+
+func TestRelQueryPlannerPaths(t *testing.T) {
+	res, err := RelQuery(20000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 5 {
+		t.Fatalf("%d cases", len(res.Cases))
+	}
+	stream := res.Case("newest_after_cutoff_desc")
+	if stream == nil || stream.Rows != 50 {
+		t.Fatalf("newest_after_cutoff_desc = %+v", stream)
+	}
+	if !stream.Ordered {
+		t.Errorf("OrderBy shares the driving index column but planner sorted (Ordered=false)")
+	}
+	if asc := res.Case("after_cutoff_asc_paged"); asc == nil || !asc.Ordered || asc.Rows != 50 {
+		t.Errorf("after_cutoff_asc_paged = %+v, want ordered with 50 rows", asc)
+	}
+	if gt := res.Case("gt_over_dup_run"); gt == nil || gt.Scanned > 1000 {
+		t.Errorf("OpGt scanned %d postings; seek should skip the %d-row equal run", gt.Scanned, res.DupRun)
+	}
+	if !strings.Contains(res.Format(), "ordered") {
+		t.Error("Format() missing planner columns")
+	}
+	if len(res.BenchMetrics()) == 0 {
+		t.Error("no bench metrics emitted")
+	}
+}

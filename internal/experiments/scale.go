@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
+	"gallery/internal/benchfmt"
 	"gallery/internal/core"
 	"gallery/internal/uuid"
 )
@@ -15,15 +17,37 @@ import (
 // save throughput and the latency of the operations that must stay fast at
 // scale: indexed metadata search, point fetch, and lineage traversal.
 
-// ScaleResult is one tier's measurements.
+// ScaleResult is one tier's measurements. Latencies are the median of
+// scaleProbeIters repeated probes: single-shot numbers on shared
+// hardware tell more about the scheduler than the store.
 type ScaleResult struct {
 	Instances      int
 	SaveThroughput float64 // instances/second
 	SearchLatency  time.Duration
+	SearchP99      time.Duration
 	SearchResults  int
 	FetchLatency   time.Duration
+	FetchP99       time.Duration
 	LineageLatency time.Duration
+	LineageP99     time.Duration
 	LineageLen     int
+}
+
+// scaleProbeIters repeats each latency probe enough for stable medians.
+const scaleProbeIters = 32
+
+// probe runs f repeatedly and returns its median and p99 latency.
+func probe(iters int, f func() error) (p50, p99 time.Duration, err error) {
+	lats := make([]time.Duration, iters)
+	for i := range lats {
+		t0 := time.Now()
+		if err = f(); err != nil {
+			return
+		}
+		lats[i] = time.Since(t0)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], lats[len(lats)*99/100], nil
 }
 
 // Scale runs the tier sweep. Blobs are small placeholders: the claim under
@@ -60,7 +84,7 @@ func scaleTier(n int) (ScaleResult, error) {
 
 	blob := []byte("tiny placeholder model blob")
 	start := time.Now()
-	var probe uuid.UUID
+	var probeID uuid.UUID
 	for i := 0; i < n; i++ {
 		env.Clock.Advance(time.Second)
 		in, err := env.Reg.UploadInstance(core.InstanceSpec{
@@ -72,36 +96,66 @@ func scaleTier(n int) (ScaleResult, error) {
 			return res, err
 		}
 		if i == n/2 {
-			probe = in.ID
+			probeID = in.ID
 		}
 	}
 	res.SaveThroughput = float64(n) / time.Since(start).Seconds()
 
 	// Indexed metadata search: all instances of one city.
-	start = time.Now()
-	found, err := env.Reg.SearchInstances(core.InstanceFilter{City: "city123", Limit: 100})
+	var err error
+	var found []*core.Instance
+	res.SearchLatency, res.SearchP99, err = probe(scaleProbeIters, func() error {
+		var err error
+		found, err = env.Reg.SearchInstances(core.InstanceFilter{City: "city123", Limit: 100})
+		return err
+	})
 	if err != nil {
 		return res, err
 	}
-	res.SearchLatency = time.Since(start)
 	res.SearchResults = len(found)
 
 	// Point fetch (metadata + blob through the cache).
-	start = time.Now()
-	if _, err := env.Reg.FetchBlob(probe); err != nil {
-		return res, err
-	}
-	res.FetchLatency = time.Since(start)
-
-	// Lineage traversal of one base version id.
-	start = time.Now()
-	lineage, err := env.Reg.Lineage("demand_city123")
+	res.FetchLatency, res.FetchP99, err = probe(scaleProbeIters, func() error {
+		_, err := env.Reg.FetchBlob(probeID)
+		return err
+	})
 	if err != nil {
 		return res, err
 	}
-	res.LineageLatency = time.Since(start)
+
+	// Lineage traversal of one base version id.
+	var lineage []*core.Instance
+	res.LineageLatency, res.LineageP99, err = probe(scaleProbeIters, func() error {
+		var err error
+		lineage, err = env.Reg.Lineage("demand_city123")
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
 	res.LineageLen = len(lineage)
 	return res, nil
+}
+
+// BenchMetrics emits BENCH_scale.json metrics for a tier sweep. Result
+// counts are deterministic and gate; throughput and latency are
+// hardware-bound trajectory info.
+func ScaleBenchMetrics(rs []ScaleResult) []benchfmt.Metric {
+	var ms []benchfmt.Metric
+	for _, r := range rs {
+		prefix := fmt.Sprintf("tier%d_", r.Instances)
+		ms = append(ms,
+			benchfmt.Metric{Name: prefix + "save_throughput", Unit: "ops/s", Value: r.SaveThroughput, Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "search_p50_seconds", Unit: "s", Value: r.SearchLatency.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "search_p99_seconds", Unit: "s", Value: r.SearchP99.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "search_results", Unit: "rows", Value: float64(r.SearchResults), Better: benchfmt.HigherIsBetter, Tol: 0.01},
+			benchfmt.Metric{Name: prefix + "fetch_p50_seconds", Unit: "s", Value: r.FetchLatency.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "fetch_p99_seconds", Unit: "s", Value: r.FetchP99.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "lineage_p50_seconds", Unit: "s", Value: r.LineageLatency.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "lineage_len", Unit: "rows", Value: float64(r.LineageLen), Better: benchfmt.HigherIsBetter, Tol: 0.01},
+		)
+	}
+	return ms
 }
 
 // FormatScale renders the tier table.

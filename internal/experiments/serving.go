@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gallery/internal/api"
+	"gallery/internal/benchfmt"
 	"gallery/internal/core"
 	"gallery/internal/forecast"
 	"gallery/internal/obs"
@@ -55,6 +57,11 @@ type ServingArm struct {
 	Elapsed     time.Duration
 	QPS         float64
 	Failed      int64
+	// Single-client measurement round: request latency quantiles and the
+	// exact allocation count per prediction.
+	P50         time.Duration
+	P99         time.Duration
+	AllocsPerOp float64
 }
 
 // ServingResult is the serving-gateway experiment outcome: the same
@@ -83,8 +90,9 @@ func (r *ServingResult) Format() string {
 	fmt.Fprintf(&b, "prediction storm: %d clients x %d predictions, LinearAR production instance, hot swap mid-storm\n",
 		r.Clients, r.PerClient)
 	for _, a := range r.Arms {
-		fmt.Fprintf(&b, "  %-14s %8d predictions in %8.1fms  %10.0f qps  failed=%d\n",
-			a.Name, a.Predictions, float64(a.Elapsed.Microseconds())/1000, a.QPS, a.Failed)
+		fmt.Fprintf(&b, "  %-14s %8d predictions in %8.1fms  %10.0f qps  p50=%v p99=%v allocs/op=%.1f failed=%d\n",
+			a.Name, a.Predictions, float64(a.Elapsed.Microseconds())/1000, a.QPS,
+			a.P50.Round(time.Microsecond), a.P99.Round(time.Microsecond), a.AllocsPerOp, a.Failed)
 	}
 	fmt.Fprintf(&b, "  batched/unbatched throughput: %.2fx; swap served new instance in both arms: %v\n",
 		r.Speedup(), r.SwapServed)
@@ -252,7 +260,64 @@ func ServingGateway(clients, perClient int) (*ServingResult, error) {
 		if resp.InstanceID != chall.ID.String() {
 			res.SwapServed = false
 		}
+		// Single-client measurement round: per-request latency quantiles
+		// and allocations per prediction (the machine-independent number
+		// the perf baseline gates on).
+		if arm.P50, arm.P99, arm.AllocsPerOp, err = measurePredict(gws[i], m.ID.String(), fctx, 1000); err != nil {
+			return nil, err
+		}
 		res.Arms = append(res.Arms, *arm)
 	}
 	return res, nil
+}
+
+// measurePredict issues n sequential predictions against a warmed
+// gateway, reporting latency quantiles and the heap allocation count per
+// call (via runtime.MemStats.Mallocs, so it counts mallocs exactly
+// rather than sampling).
+func measurePredict(gw *serve.Gateway, modelID string, fctx forecast.Context, n int) (p50, p99 time.Duration, allocsPerOp float64, err error) {
+	for i := 0; i < 50; i++ { // warm pools so steady-state is measured
+		if _, err = gw.Predict(modelID, fctx); err != nil {
+			return
+		}
+	}
+	lats := make([]time.Duration, n)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range lats {
+		t0 := time.Now()
+		if _, err = gw.Predict(modelID, fctx); err != nil {
+			return
+		}
+		lats[i] = time.Since(t0)
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[n/2], lats[n*99/100], allocsPerOp, nil
+}
+
+// BenchMetrics emits the experiment's BENCH_serving.json metrics.
+// Allocation counts per prediction are machine-independent and gate the
+// baseline; throughput and latency are hardware-bound trajectory info.
+func (r *ServingResult) BenchMetrics() []benchfmt.Metric {
+	var ms []benchfmt.Metric
+	for _, a := range r.Arms {
+		prefix := strings.ReplaceAll(a.Name, "=", "_")
+		ms = append(ms,
+			benchfmt.Metric{Name: prefix + "_qps", Unit: "ops/s", Value: a.QPS, Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "_p50_seconds", Unit: "s", Value: a.P50.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "_p99_seconds", Unit: "s", Value: a.P99.Seconds(), Better: benchfmt.Info},
+			benchfmt.Metric{Name: prefix + "_allocs_per_op", Unit: "allocs/op", Value: a.AllocsPerOp, Better: benchfmt.LowerIsBetter, Tol: 0.5},
+		)
+	}
+	swap := 0.0
+	if r.SwapServed {
+		swap = 1
+	}
+	return append(ms,
+		benchfmt.Metric{Name: "batched_speedup", Unit: "x", Value: r.Speedup(), Better: benchfmt.Info},
+		benchfmt.Metric{Name: "swap_served", Value: swap, Better: benchfmt.HigherIsBetter, Tol: 0.01},
+	)
 }

@@ -107,8 +107,12 @@ type Explain struct {
 	// Index is the column whose secondary index drove the scan, or ""
 	// for a full table scan.
 	Index string
-	// Ordered reports that the index also supplied the result order, so
-	// no sort ran and Limit could stop the scan early.
+	// Ordered reports that the scan streamed rows already in the
+	// requested ORDER BY order — either the ORDER BY column's own index
+	// drove the scan, or the driving constraint shares its column with
+	// ORDER BY — so no sort ran and Limit could stop the scan early.
+	// Always false when the query has no ORDER BY (result order is then
+	// scan order, and no sort would have run anyway).
 	Ordered bool
 	// Scanned counts rows (or index postings) examined.
 	Scanned int
@@ -127,7 +131,12 @@ func (c Constraint) matches(row Row) bool {
 	case OpEq:
 		return !v.IsNull() && Equal(v, c.Value)
 	case OpNe:
-		return !Equal(v, c.Value)
+		// SQL three-valued logic: NULL <> x is unknown, so a null (or
+		// absent) field matches no comparison operator — not_equal
+		// included. Rows lacking the field are excluded, consistent with
+		// every other operator here and with the search API the paper's
+		// Listing 5 mirrors.
+		return !v.IsNull() && !Equal(v, c.Value)
 	case OpLt:
 		return !v.IsNull() && Compare(v, c.Value) < 0
 	case OpLe:
@@ -187,6 +196,12 @@ func (s *Store) SelectCtx(ctx context.Context, q Query) ([]Row, error) {
 	if span != nil {
 		span.Annotate("table", q.Table)
 		span.Annotate("index", ex.Index)
+		if ex.Ordered {
+			span.Annotate("order", "streamed")
+		} else if q.OrderBy != "" {
+			span.Annotate("order", "sorted")
+		}
+		span.AnnotateInt("scanned", int64(ex.Scanned))
 		span.AnnotateInt("rows", int64(len(rows)))
 	}
 	span.EndErr(err)
@@ -214,24 +229,52 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 			if _, hasIdx := t.indexes[c.Field]; !hasIdx {
 				continue
 			}
-			if rank < bestRank {
+			// Lower rank wins; on a rank tie prefer the constraint whose
+			// column is also the ORDER BY column, since that scan streams
+			// results in order and skips the sort entirely.
+			if rank < bestRank ||
+				(rank == bestRank && driver >= 0 &&
+					c.Field == q.OrderBy && q.Where[driver].Field != q.OrderBy) {
 				bestRank, driver = rank, i
 			}
 		}
 	}
 
+	// streamed reports that the scan will emit rows already in result
+	// order, which makes the post-scan sort redundant and lets Limit stop
+	// the scan early. Three scans qualify:
+	//
+	//   - an index-driven scan whose constraint column is the ORDER BY
+	//     column (index order IS the requested order; descending requests
+	//     walk the index downward),
+	//   - an index-driven scan with no ORDER BY (result order is defined
+	//     as scan order),
+	//   - the ordered-index path below, and full scans with no ORDER BY
+	//     (primary-key order, walked in either direction).
+	//
+	// This is what keeps "newest instances first" queries fast at the
+	// paper's million-instance scale: the registry's dominant search shape
+	// (filter + ORDER BY created DESC LIMIT n) touches n postings, not
+	// every match.
+	streamed := driver >= 0 && (q.OrderBy == "" || q.OrderBy == q.Where[driver].Field)
+
 	// Ordered-index path: when no constraint drives the scan but the
 	// ORDER BY column has an index over a non-nullable column, stream the
-	// index in order — no sort, and Limit stops the scan early. This is
-	// what keeps "newest instances first" queries fast at the paper's
-	// million-instance scale.
+	// index in order. (Nullable columns are skipped: their null rows are
+	// absent from the index, so it cannot supply the full result set.
+	// The driver path above has no such concern — range and equality
+	// constraints exclude nulls anyway.)
 	ordered := false
 	if driver < 0 && !q.ForceScan && q.OrderBy != "" {
 		if _, hasIdx := t.indexes[q.OrderBy]; hasIdx {
 			if col, ok := t.schema.col(q.OrderBy); ok && !col.Nullable {
 				ordered = true
+				streamed = true
 			}
 		}
+	}
+	if driver < 0 && !ordered && q.OrderBy == "" {
+		streamed = true // full scan in primary-key order (either direction)
 	}
 
 	var matched []Row
@@ -245,8 +288,7 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 		ex.Matched++
 		matched = append(matched, row)
 		// Early termination: only safe when scan order is result order.
-		if (ordered || (q.OrderBy == "" && !q.Desc)) && q.Limit > 0 &&
-			len(matched) >= q.Offset+q.Limit {
+		if streamed && q.Limit > 0 && len(matched) >= q.Offset+q.Limit {
 			return false
 		}
 		return true
@@ -256,7 +298,12 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 	case driver >= 0:
 		c := q.Where[driver]
 		ex.Index = c.Field
-		t.scanIndex(c, visit)
+		ex.Ordered = streamed && q.OrderBy != ""
+		if streamed && q.Desc {
+			t.scanIndexDesc(c, visit)
+		} else {
+			t.scanIndex(c, visit)
+		}
 	case ordered:
 		ex.Index = q.OrderBy
 		ex.Ordered = true
@@ -270,11 +317,15 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 			idx.Ascend(emit)
 		}
 	default:
-		t.scanAll(visit)
+		t.scanAll(q.Desc && q.OrderBy == "", visit)
 	}
 
-	// Order, then page (skipped when the index already supplied order).
-	if q.OrderBy != "" && !ordered {
+	// Order, then page (skipped when the scan already streamed rows in
+	// result order). Tie-break note: a streamed descending scan yields
+	// (value desc, pk desc) within equal values, while the sort path's
+	// stable sort preserves scan order; order among equal ORDER BY values
+	// is unspecified either way.
+	if q.OrderBy != "" && !streamed {
 		col := q.OrderBy
 		sort.SliceStable(matched, func(i, j int) bool {
 			c := Compare(matched[i][col], matched[j][col])
@@ -283,10 +334,6 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 			}
 			return c < 0
 		})
-	} else if q.OrderBy == "" && q.Desc {
-		for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
-			matched[i], matched[j] = matched[j], matched[i]
-		}
 	}
 	if q.Offset > 0 {
 		if q.Offset >= len(matched) {
@@ -306,14 +353,27 @@ func (s *Store) SelectExplain(q Query) ([]Row, Explain, error) {
 	return out, ex, nil
 }
 
-// scanAll visits every row in primary-key order.
-func (t *table) scanAll(visit func(Row) bool) {
-	t.pks.Ascend(func(it btree.Item) bool {
+// scanAll visits every row in primary-key order (descending when desc).
+func (t *table) scanAll(desc bool, visit func(Row) bool) {
+	emit := func(it btree.Item) bool {
 		return visit(t.rows[string(it.(pkItem))])
-	})
+	}
+	if desc {
+		t.pks.Descend(emit)
+	} else {
+		t.pks.Ascend(emit)
+	}
 }
 
-// scanIndex visits rows via the secondary index on c.Field, bounded by c.
+// Index-scan bounds use two sentinels around a value's posting run:
+// {v, pk: ""} sorts before every real {v, pk} posting (primary keys are
+// non-empty) and {v, max: true} sorts after them all. Both let the scan
+// seek directly to a run boundary instead of filtering through it — on
+// OpGt in particular, the scan lands past the equal-value run in
+// O(log n) no matter how many rows share the boundary value.
+
+// scanIndex visits rows via the secondary index on c.Field, bounded by
+// c, in ascending (value, pk) order.
 func (t *table) scanIndex(c Constraint, visit func(Row) bool) {
 	idx := t.indexes[c.Field]
 	emit := func(it btree.Item) bool {
@@ -321,7 +381,36 @@ func (t *table) scanIndex(c Constraint, visit func(Row) bool) {
 	}
 	switch c.Op {
 	case OpEq:
-		idx.AscendRange(indexEntry{v: c.Value, pk: ""}, nil, func(it btree.Item) bool {
+		idx.AscendRange(indexEntry{v: c.Value}, indexEntry{v: c.Value, max: true}, emit)
+	case OpPrefix:
+		idx.AscendGreaterOrEqual(indexEntry{v: c.Value}, func(it btree.Item) bool {
+			e := it.(indexEntry)
+			if e.v.Kind != KindString || !strings.HasPrefix(e.v.Str, c.Value.Str) {
+				return false
+			}
+			return visit(t.rows[e.pk])
+		})
+	case OpGe:
+		idx.AscendGreaterOrEqual(indexEntry{v: c.Value}, emit)
+	case OpGt:
+		idx.AscendGreaterOrEqual(indexEntry{v: c.Value, max: true}, emit)
+	case OpLe:
+		idx.AscendRange(nil, indexEntry{v: c.Value, max: true}, emit)
+	case OpLt:
+		idx.AscendRange(nil, indexEntry{v: c.Value}, emit)
+	}
+}
+
+// scanIndexDesc is scanIndex walking the index downward, so descending
+// ORDER BY requests on the constraint column stream without a sort.
+func (t *table) scanIndexDesc(c Constraint, visit func(Row) bool) {
+	idx := t.indexes[c.Field]
+	emit := func(it btree.Item) bool {
+		return visit(t.rows[it.(indexEntry).pk])
+	}
+	switch c.Op {
+	case OpEq:
+		idx.DescendLessOrEqual(indexEntry{v: c.Value, max: true}, func(it btree.Item) bool {
 			e := it.(indexEntry)
 			if !Equal(e.v, c.Value) {
 				return false
@@ -329,24 +418,59 @@ func (t *table) scanIndex(c Constraint, visit func(Row) bool) {
 			return visit(t.rows[e.pk])
 		})
 	case OpPrefix:
-		lo := indexEntry{v: c.Value, pk: ""}
-		idx.AscendGreaterOrEqual(lo, func(it btree.Item) bool {
-			e := it.(indexEntry)
-			if e.v.Kind != KindString || !strings.HasPrefix(e.v.Str, c.Value.Str) {
-				return false
-			}
-			return visit(t.rows[e.pk])
-		})
+		t.descendPrefix(idx, c, visit)
 	case OpGe, OpGt:
-		idx.AscendGreaterOrEqual(indexEntry{v: c.Value, pk: ""}, emit)
-	case OpLe, OpLt:
-		idx.Ascend(func(it btree.Item) bool {
+		idx.Descend(func(it btree.Item) bool {
 			e := it.(indexEntry)
 			cmp := Compare(e.v, c.Value)
-			if cmp > 0 || (cmp == 0 && c.Op == OpLt) {
+			if cmp < 0 || (cmp == 0 && c.Op == OpGt) {
 				return false
 			}
 			return visit(t.rows[e.pk])
 		})
+	case OpLe:
+		idx.DescendLessOrEqual(indexEntry{v: c.Value, max: true}, emit)
+	case OpLt:
+		idx.DescendLessOrEqual(indexEntry{v: c.Value}, emit)
 	}
+}
+
+// descendPrefix walks prefix matches downward, seeking to the prefix's
+// upper bound first when one exists.
+func (t *table) descendPrefix(idx *btree.Tree, c Constraint, visit func(Row) bool) {
+	stop := func(it btree.Item) bool {
+		e := it.(indexEntry)
+		if e.v.Kind != KindString || !strings.HasPrefix(e.v.Str, c.Value.Str) {
+			return false
+		}
+		return visit(t.rows[e.pk])
+	}
+	if succ, ok := prefixSuccessor(c.Value.Str); ok {
+		idx.DescendLessOrEqual(indexEntry{v: String(succ)}, stop)
+		return
+	}
+	// Prefix is all 0xff bytes: no string upper bound exists. Walk from
+	// the top, skipping non-string postings (every other kind sorts above
+	// strings), then stop at the first string without the prefix.
+	idx.Descend(func(it btree.Item) bool {
+		e := it.(indexEntry)
+		if e.v.Kind != KindString {
+			return true
+		}
+		return stop(it)
+	})
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix, by incrementing the last incrementable byte.
+// ok is false when the prefix is empty or all 0xff.
+func prefixSuccessor(prefix string) (string, bool) {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
 }

@@ -84,16 +84,24 @@ type pkItem string
 func (p pkItem) Less(than btree.Item) bool { return p < than.(pkItem) }
 
 // indexEntry is one secondary-index posting: a column value plus the owning
-// row's primary key, ordered by (value, pk).
+// row's primary key, ordered by (value, pk). Stored postings never set
+// max; it is a seek sentinel that sorts after every real posting with the
+// same value (primary keys are non-empty, so {v, pk: ""} is likewise a
+// sentinel before them). The planner uses both to jump over equal-value
+// runs in O(log n) instead of filtering through them.
 type indexEntry struct {
-	v  Value
-	pk string
+	v   Value
+	pk  string
+	max bool
 }
 
 func (e indexEntry) Less(than btree.Item) bool {
 	o := than.(indexEntry)
 	if c := Compare(e.v, o.v); c != 0 {
 		return c < 0
+	}
+	if e.max != o.max {
+		return o.max
 	}
 	return e.pk < o.pk
 }

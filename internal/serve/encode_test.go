@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gallery/internal/api"
+)
+
+// jsonEncode is the reference: what the old json.NewEncoder path wrote.
+func jsonEncode(t testing.TB, resp api.PredictResponse) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAppendPredictResponseMatchesEncodingJSON(t *testing.T) {
+	cases := []api.PredictResponse{
+		{},
+		{ModelID: "demand-sf", InstanceID: "inst-1", VersionID: "v-9", Version: "3.2", Value: 127.25},
+		{ModelID: "m", InstanceID: "i", VersionID: "v", Version: "1.0", Learner: "linear_ar", Value: -0.125, Stale: true},
+		{ModelID: "m", Value: 1e-9},            // exponent form with zero-trim
+		{ModelID: "m", Value: 3.5e21},          // large exponent form
+		{ModelID: "m", Value: 1e-6},            // boundary: exactly 1e-6 stays decimal
+		{ModelID: "m", Value: 0.0000009999},    // just under the boundary
+		{ModelID: "m", Value: math.MaxFloat64}, // 'e' form
+		{ModelID: "m", Value: 5},               // integral float
+		{ModelID: `we"ird\mo<del>&`, InstanceID: "ünïcode", VersionID: "tab\tchar", Version: "1.0", Value: 1},
+	}
+	for _, resp := range cases {
+		want := jsonEncode(t, resp)
+		got := appendPredictResponse(nil, resp)
+		if !bytes.Equal(got, want) {
+			t.Errorf("encoding mismatch for %+v:\n got %q\nwant %q", resp, got, want)
+		}
+	}
+}
+
+func TestAppendPredictResponseQuick(t *testing.T) {
+	err := quick.Check(func(model, inst, ver, version, learner string, mant int64, exp int8, stale bool) bool {
+		// Spread values across the full float range, including the
+		// notation switchover boundaries.
+		val := float64(mant) * math.Pow(10, float64(exp%30))
+		if math.IsInf(val, 0) || math.IsNaN(val) {
+			val = 0
+		}
+		resp := api.PredictResponse{
+			ModelID: model, InstanceID: inst, VersionID: ver,
+			Version: version, Learner: learner, Value: val, Stale: stale,
+		}
+		return bytes.Equal(appendPredictResponse(nil, resp), jsonEncode(t, resp))
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendPredictResponseZeroAlloc pins the point of the exercise:
+// encoding into a reused buffer allocates nothing.
+func TestAppendPredictResponseZeroAlloc(t *testing.T) {
+	resp := api.PredictResponse{
+		ModelID: "demand-sf", InstanceID: "inst-1", VersionID: "v-9",
+		Version: "3.2", Learner: "linear_ar", Value: 127.25,
+	}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendPredictResponse(buf[:0], resp)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendPredictResponse allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkPredictResponseEncode(b *testing.B) {
+	resp := api.PredictResponse{
+		ModelID: "demand-sf", InstanceID: "inst-1", VersionID: "v-9",
+		Version: "3.2", Learner: "linear_ar", Value: 127.25,
+	}
+	b.Run("append_pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		for i := 0; i < b.N; i++ {
+			buf = appendPredictResponse(buf[:0], resp)
+		}
+	})
+	b.Run("encoding_json", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -163,12 +163,12 @@ type Gateway struct {
 }
 
 type gatewayMetrics struct {
-	loads        *obs.Counter
-	loadErrs     *obs.Counter
-	swaps        *obs.Counter
-	evictions    *obs.Counter
-	refreshes    *obs.Counter
-	refreshErrs  *obs.Counter
+	loads           *obs.Counter
+	loadErrs        *obs.Counter
+	swaps           *obs.Counter
+	evictions       *obs.Counter
+	refreshes       *obs.Counter
+	refreshErrs     *obs.Counter
 	predicts        *obs.Counter
 	predictErrs     *obs.Counter
 	stale           *obs.Counter
@@ -216,15 +216,15 @@ func New(src Source, opts Options) *Gateway {
 		ll:      list.New(),
 		done:    make(chan struct{}),
 		mx: gatewayMetrics{
-			loads:        opts.Obs.Counter("serve_model_loads_total"),
-			loadErrs:     opts.Obs.Counter("serve_model_load_errors_total"),
-			swaps:        opts.Obs.Counter("serve_hot_swaps_total"),
-			evictions:    opts.Obs.Counter("serve_evictions_total"),
-			refreshes:    opts.Obs.Counter("serve_refreshes_total"),
-			refreshErrs:  opts.Obs.Counter("serve_refresh_errors_total"),
-			predicts:     opts.Obs.Counter("serve_predictions_total"),
-			predictErrs:  opts.Obs.Counter("serve_prediction_errors_total"),
-			stale:        opts.Obs.Counter("serve_stale_predictions_total"),
+			loads:           opts.Obs.Counter("serve_model_loads_total"),
+			loadErrs:        opts.Obs.Counter("serve_model_load_errors_total"),
+			swaps:           opts.Obs.Counter("serve_hot_swaps_total"),
+			evictions:       opts.Obs.Counter("serve_evictions_total"),
+			refreshes:       opts.Obs.Counter("serve_refreshes_total"),
+			refreshErrs:     opts.Obs.Counter("serve_refresh_errors_total"),
+			predicts:        opts.Obs.Counter("serve_predictions_total"),
+			predictErrs:     opts.Obs.Counter("serve_prediction_errors_total"),
+			stale:           opts.Obs.Counter("serve_stale_predictions_total"),
 			latency:         opts.Obs.Histogram("serve_predict_seconds", obs.LatencyBuckets),
 			batchSize:       opts.Obs.Histogram("serve_batch_size", batchSizeBuckets),
 			loadedModels:    opts.Obs.Gauge("serve_loaded_models"),

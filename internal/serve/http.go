@@ -126,7 +126,7 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeServeErr(w, predictStatus(err), err)
 		return
 	}
-	writeServeJSON(w, http.StatusOK, resp)
+	writePredictResponse(w, resp)
 }
 
 func (h *Handler) handleServing(w http.ResponseWriter, r *http.Request) {
