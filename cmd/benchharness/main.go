@@ -9,7 +9,7 @@
 //
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
-// serving, onlinedrift, auditchurn, relquery, tiered.
+// serving, onlinedrift, auditchurn, relquery, multitenant, tiered.
 //
 // Perf trajectory: experiments that measure performance also emit
 // machine-readable metrics (internal/benchfmt).
@@ -214,6 +214,19 @@ func main() {
 			res, err := experiments.RelQuery(20_000, 200)
 			if err != nil {
 				return "", nil, err
+			}
+			return res.Format(), res.BenchMetrics(), nil
+		}},
+		{"multitenant", "E22 (extension) — multi-tenant control plane: auth hot-path cost, noisy-neighbor isolation", func() (string, []benchfmt.Metric, error) {
+			res, err := experiments.MultiTenant(2000)
+			if err != nil {
+				return "", nil, err
+			}
+			if extra := res.PredictExtraAllocs(); extra > 0.5 {
+				return "", nil, fmt.Errorf("multitenant: auth added %.1f allocs/op on the predict path (want 0)", extra)
+			}
+			if res.QuietOKRatio() != 1 {
+				return "", nil, fmt.Errorf("multitenant: quiet tenant lost requests to the noisy tenant (ok ratio %.2f)", res.QuietOKRatio())
 			}
 			return res.Format(), res.BenchMetrics(), nil
 		}},

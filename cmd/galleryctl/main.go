@@ -32,6 +32,9 @@
 //	          [-since D] [-until D] [-where f:op:v]... [-limit N] [-asc] [-json]
 //	logs      [-level L] [-since D] [-limit N] [-follow [-every D]] [-json]
 //	predict   -model UUID -history "10,12,11,13" [-gateway URL]
+//	tenant    create|list|quotas|mint|tokens|revoke ... (see `tenant -h`)
+//
+// Against a galleryd running -auth, pass -token (or set GALLERY_TOKEN).
 package main
 
 import (
@@ -51,12 +54,13 @@ import (
 func main() {
 	serverFlag := flag.String("server", "http://localhost:8440", "gallery server URL")
 	actorFlag := flag.String("actor", "galleryctl", "actor name recorded in the audit trail for mutations")
+	tokenFlag := flag.String("token", os.Getenv("GALLERY_TOKEN"), "bearer token for servers running -auth (default $GALLERY_TOKEN)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fail("usage: galleryctl [-server URL] <subcommand> [args]; see -h")
 	}
-	c := client.NewWith(*serverFlag, client.Options{Actor: *actorFlag})
+	c := client.NewWith(*serverFlag, client.Options{Actor: *actorFlag, Token: *tokenFlag})
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -104,6 +108,8 @@ func main() {
 		err = cmdLogs(c, rest)
 	case "predict":
 		err = cmdPredict(c, *serverFlag, rest)
+	case "tenant":
+		err = cmdTenant(c, rest)
 	default:
 		fail("galleryctl: unknown subcommand %q", cmd)
 	}

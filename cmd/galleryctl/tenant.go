@@ -1,0 +1,146 @@
+package main
+
+// The tenant subcommand: namespace, quota, and token administration
+// against a galleryd running -auth. Requires an operator token.
+//
+//	galleryctl -token gal_... tenant create -ns maps -max-models 100
+//	galleryctl -token gal_... tenant list
+//	galleryctl -token gal_... tenant quotas -ns maps -rate 500 -burst 1000
+//	galleryctl -token gal_... tenant mint -ns maps -name maps-ci -role publisher
+//	galleryctl -token gal_... tenant tokens -ns maps
+//	galleryctl -token gal_... tenant revoke -ns maps -id TOKEN_UUID
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"gallery/internal/api"
+	"gallery/internal/client"
+)
+
+func cmdTenant(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tenant create|list|quotas|mint|tokens|revoke [args]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "create":
+		fs := flag.NewFlagSet("tenant create", flag.ExitOnError)
+		ns := fs.String("ns", "", "namespace name (required)")
+		maxModels := fs.Int64("max-models", 0, "model-count quota (0 = unlimited)")
+		maxBlob := fs.Int64("max-blob-bytes", 0, "blob-byte quota (0 = unlimited)")
+		rate := fs.Float64("rate", 0, "sustained requests/sec (0 = unlimited)")
+		burst := fs.Int64("burst", 0, "rate-limit burst depth")
+		fs.Parse(rest)
+		if *ns == "" {
+			return fmt.Errorf("tenant create: -ns is required")
+		}
+		return dump(c.CreateNamespace(api.CreateNamespaceRequest{
+			Name: *ns, MaxModels: *maxModels, MaxBlobBytes: *maxBlob,
+			RatePerSec: *rate, Burst: *burst,
+		}))
+	case "list":
+		nss, err := c.Namespaces()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAMESPACE\tMODELS\tBLOB BYTES\tRATE/S\tBURST\tCREATED")
+		for _, ns := range nss {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				ns.Name,
+				quota(ns.Models, ns.MaxModels),
+				quota(ns.BlobBytes, ns.MaxBlobBytes),
+				unlimited(ns.RatePerSec), unlimitedInt(ns.Burst),
+				ns.Created.Format("2006-01-02 15:04"))
+		}
+		return w.Flush()
+	case "quotas":
+		fs := flag.NewFlagSet("tenant quotas", flag.ExitOnError)
+		ns := fs.String("ns", "", "namespace name (required)")
+		maxModels := fs.Int64("max-models", 0, "model-count quota (0 = unlimited)")
+		maxBlob := fs.Int64("max-blob-bytes", 0, "blob-byte quota (0 = unlimited)")
+		rate := fs.Float64("rate", 0, "sustained requests/sec (0 = unlimited)")
+		burst := fs.Int64("burst", 0, "rate-limit burst depth")
+		fs.Parse(rest)
+		if *ns == "" {
+			return fmt.Errorf("tenant quotas: -ns is required")
+		}
+		return dump(c.SetQuotas(*ns, api.SetQuotasRequest{
+			MaxModels: *maxModels, MaxBlobBytes: *maxBlob,
+			RatePerSec: *rate, Burst: *burst,
+		}))
+	case "mint":
+		fs := flag.NewFlagSet("tenant mint", flag.ExitOnError)
+		ns := fs.String("ns", "", "namespace name (required)")
+		name := fs.String("name", "", "token holder name (required)")
+		role := fs.String("role", "reader", "reader|publisher|operator")
+		fs.Parse(rest)
+		if *ns == "" || *name == "" {
+			return fmt.Errorf("tenant mint: -ns and -name are required")
+		}
+		resp, err := c.MintToken(*ns, api.MintTokenRequest{Name: *name, Role: *role})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("token %s (%s, %s in %s)\nsecret (shown once, store it now):\n%s\n",
+			resp.Token.ID, resp.Token.Name, resp.Token.Role, resp.Token.Namespace, resp.Secret)
+		return nil
+	case "tokens":
+		fs := flag.NewFlagSet("tenant tokens", flag.ExitOnError)
+		ns := fs.String("ns", "", "namespace name (required)")
+		fs.Parse(rest)
+		if *ns == "" {
+			return fmt.Errorf("tenant tokens: -ns is required")
+		}
+		toks, err := c.Tokens(*ns)
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tNAME\tROLE\tCREATED\tREVOKED")
+		for _, t := range toks {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%v\n",
+				t.ID, t.Name, t.Role, t.Created.Format("2006-01-02 15:04"), t.Revoked)
+		}
+		return w.Flush()
+	case "revoke":
+		fs := flag.NewFlagSet("tenant revoke", flag.ExitOnError)
+		ns := fs.String("ns", "", "namespace name (required)")
+		id := fs.String("id", "", "token id (required)")
+		fs.Parse(rest)
+		if *ns == "" || *id == "" {
+			return fmt.Errorf("tenant revoke: -ns and -id are required")
+		}
+		if err := c.RevokeToken(*ns, *id); err != nil {
+			return err
+		}
+		fmt.Printf("revoked %s\n", *id)
+		return nil
+	}
+	return fmt.Errorf("tenant: unknown subcommand %q", sub)
+}
+
+// quota renders "used/limit" with unlimited limits as a bare count.
+func quota(used, limit int64) string {
+	if limit <= 0 {
+		return fmt.Sprintf("%d", used)
+	}
+	return fmt.Sprintf("%d/%d", used, limit)
+}
+
+func unlimited(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func unlimitedInt(v int64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -7,6 +7,11 @@
 //	galleryd -addr :8440 -data /var/lib/gallery
 //	galleryd -addr :8440 -mem            # volatile, for demos
 //	galleryd -addr :8440 -mem -access-log  # JSON access log on stderr
+//	galleryd -addr :8440 -auth           # multi-tenant: bearer tokens, roles, quotas
+//	galleryd -addr :8440 -auth -token-file tokens.json  # with pre-shared credentials
+//
+// With -auth and no existing tokens, a bootstrap operator token for the
+// "default" namespace is minted and its secret printed once at startup.
 //
 // On SIGINT/SIGTERM the server drains, dumps the full metric registry
 // snapshot (the same JSON served at /v1/debug/metrics) to stderr, and
@@ -35,6 +40,7 @@ import (
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/server"
+	"gallery/internal/tenant"
 	"gallery/internal/wal"
 )
 
@@ -60,6 +66,9 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
 		auditKeep = flag.Int("audit-keep", 256, "audit events retained per entity (negative disables pruning)")
+
+		authOn    = flag.Bool("auth", false, "enforce the multi-tenant control plane: bearer tokens, roles, quotas, rate limits")
+		tokenFile = flag.String("token-file", "", "JSON seed of namespaces and pre-shared tokens applied at boot (see internal/tenant.Seed)")
 	)
 	flag.Parse()
 
@@ -136,6 +145,37 @@ func main() {
 		Tracer: tracer, Pprof: *pprofOn, Health: monitor,
 		Logs:     obslog.NewRing(*logBuffer),
 		LogLevel: obslog.ParseLevel(*logLevel),
+	}
+	if *authOn {
+		// The control plane shares the metadata store, so namespaces,
+		// token hashes, and quota usage replay out of the same WAL the
+		// models do.
+		tm, err := tenant.Open(meta, tenant.Options{Audit: reg.Audit()})
+		if err != nil {
+			log.Fatalf("galleryd: open tenant control plane: %v", err)
+		}
+		if *tokenFile != "" {
+			seed, err := tenant.LoadSeed(*tokenFile)
+			if err != nil {
+				log.Fatalf("galleryd: %v", err)
+			}
+			if err := tm.ApplySeed(context.Background(), seed); err != nil {
+				log.Fatalf("galleryd: apply token file: %v", err)
+			}
+		}
+		if tm.TokenCount() == 0 {
+			// First authed boot with no credentials would lock everyone
+			// out; mint the bootstrap admin and print the secret exactly
+			// once (it is never stored).
+			secret, tok, err := tm.MintToken(context.Background(), tenant.DefaultNamespace, "bootstrap-admin", tenant.RoleOperator)
+			if err != nil {
+				log.Fatalf("galleryd: mint bootstrap token: %v", err)
+			}
+			fmt.Printf("galleryd: minted bootstrap operator token %s — save this secret, it is shown once:\n%s\n", tok.ID, secret)
+		}
+		opts.Tenants = tm
+	} else if *tokenFile != "" {
+		log.Fatalf("galleryd: -token-file requires -auth")
 	}
 	if *accessLog {
 		opts.AccessLog = os.Stderr

@@ -8,6 +8,7 @@
 //
 //	galleryserve -addr :8441 -gallery http://localhost:8440
 //	galleryserve -addr :8441 -gallery http://localhost:8440 -batch 32
+//	galleryserve -addr :8441 -auth -token-file tokens.json -token gal_...  # multi-tenant
 //
 // Predictions:
 //
@@ -33,7 +34,9 @@ import (
 	"gallery/internal/forecast"
 	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
+	"gallery/internal/relstore"
 	"gallery/internal/serve"
+	"gallery/internal/tenant"
 )
 
 func main() {
@@ -54,6 +57,10 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
+
+		authOn    = flag.Bool("auth", false, "require bearer tokens on this gateway (needs -token-file)")
+		tokenFile = flag.String("token-file", "", "JSON seed of namespaces and tokens this gateway accepts (see internal/tenant.Seed)")
+		token     = flag.String("token", "", "bearer token this gateway presents to galleryd (when galleryd runs -auth)")
 	)
 	flag.Parse()
 
@@ -72,7 +79,7 @@ func main() {
 		Exporter: exporter,
 	})
 
-	cl := client.NewWith(*gallery, client.Options{Retries: *retries, Actor: "gateway:" + *name})
+	cl := client.NewWith(*gallery, client.Options{Retries: *retries, Actor: "gateway:" + *name, Token: *token})
 	gwOpts := serve.Options{
 		Name:            *name,
 		MaxModels:       *maxModels,
@@ -117,6 +124,29 @@ func main() {
 	}
 	if *pprofOn {
 		opts = append(opts, serve.WithPprof())
+	}
+	if *authOn {
+		// The gateway holds no metadata store, so its control plane lives
+		// in memory, rebuilt from the token file on every boot — the same
+		// enforcement pipeline galleryd runs, fed by configuration instead
+		// of the WAL.
+		if *tokenFile == "" {
+			log.Fatalf("galleryserve: -auth requires -token-file (a gateway has no durable store to mint from)")
+		}
+		tm, err := tenant.Open(relstore.NewMemory(), tenant.Options{})
+		if err != nil {
+			log.Fatalf("galleryserve: open tenant control plane: %v", err)
+		}
+		seed, err := tenant.LoadSeed(*tokenFile)
+		if err != nil {
+			log.Fatalf("galleryserve: %v", err)
+		}
+		if err := tm.ApplySeed(context.Background(), seed); err != nil {
+			log.Fatalf("galleryserve: apply token file: %v", err)
+		}
+		opts = append(opts, serve.WithAuthorizer(tm))
+	} else if *tokenFile != "" {
+		log.Fatalf("galleryserve: -token-file requires -auth")
 	}
 	h := serve.NewHandler(gw, opts...)
 

@@ -410,3 +410,70 @@ type Stats struct {
 	EngineDispatches int64   `json:"engine_dispatches,omitempty"`
 	EngineDrops      int64   `json:"engine_drops,omitempty"`
 }
+
+// --- multi-tenant control plane (/v1/tenants) ---
+
+// TenantNamespace is one tenant: its quota configuration and current
+// usage. Zero limits mean unlimited.
+type TenantNamespace struct {
+	Name         string    `json:"name"`
+	MaxModels    int64     `json:"max_models,omitempty"`
+	MaxBlobBytes int64     `json:"max_blob_bytes,omitempty"`
+	RatePerSec   float64   `json:"rate_per_sec,omitempty"`
+	Burst        int64     `json:"burst,omitempty"`
+	Models       int64     `json:"models"`
+	BlobBytes    int64     `json:"blob_bytes"`
+	Created      time.Time `json:"created"`
+}
+
+// CreateNamespaceRequest is the body of POST /v1/tenants.
+type CreateNamespaceRequest struct {
+	Name         string  `json:"name"`
+	MaxModels    int64   `json:"max_models,omitempty"`
+	MaxBlobBytes int64   `json:"max_blob_bytes,omitempty"`
+	RatePerSec   float64 `json:"rate_per_sec,omitempty"`
+	Burst        int64   `json:"burst,omitempty"`
+}
+
+// SetQuotasRequest is the body of POST /v1/tenants/{ns}/quotas. All four
+// limits are overwritten together.
+type SetQuotasRequest struct {
+	MaxModels    int64   `json:"max_models"`
+	MaxBlobBytes int64   `json:"max_blob_bytes"`
+	RatePerSec   float64 `json:"rate_per_sec"`
+	Burst        int64   `json:"burst"`
+}
+
+// TenantsResponse is GET /v1/tenants.
+type TenantsResponse struct {
+	Namespaces []TenantNamespace `json:"namespaces"`
+}
+
+// MintTokenRequest is the body of POST /v1/tenants/{ns}/tokens.
+type MintTokenRequest struct {
+	Name string `json:"name"`
+	Role string `json:"role"` // reader | publisher | operator
+}
+
+// TenantToken is a credential's metadata; the secret appears only in the
+// MintTokenResponse that created it.
+type TenantToken struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Namespace string    `json:"namespace"`
+	Role      string    `json:"role"`
+	Created   time.Time `json:"created"`
+	Revoked   bool      `json:"revoked,omitempty"`
+}
+
+// MintTokenResponse returns the newly minted credential. Secret is shown
+// exactly once — only its hash is stored.
+type MintTokenResponse struct {
+	Secret string      `json:"secret"`
+	Token  TenantToken `json:"token"`
+}
+
+// TenantTokensResponse is GET /v1/tenants/{ns}/tokens.
+type TenantTokensResponse struct {
+	Tokens []TenantToken `json:"tokens"`
+}

@@ -31,9 +31,10 @@ const Table = "audit_events"
 
 // Entity types an event can reference.
 const (
-	EntityModel    = "model"
-	EntityInstance = "instance"
-	EntityRule     = "rule"
+	EntityModel     = "model"
+	EntityInstance  = "instance"
+	EntityRule      = "rule"
+	EntityNamespace = "namespace"
 )
 
 // Actions recorded by the built-in emission hooks. The set is open:
@@ -52,6 +53,7 @@ const (
 	ActionHealthTransition  = "health.transition"
 	ActionServeSwap         = "serve.swap"
 	ActionBlobServeFailed   = "blob.serve_failed"
+	ActionAuthDenied        = "auth.denied"
 )
 
 // Event is one audit record. EntityID names the most specific entity the

@@ -40,7 +40,13 @@ type Options struct {
 	Sleep func(time.Duration)
 	// Actor, when set, is sent as the X-Gallery-Actor header on every
 	// request, naming this caller in the service's lifecycle audit trail.
+	// Ignored by servers running with auth enabled, where the verified
+	// Token identity wins.
 	Actor string
+	// Token, when set, is sent as `Authorization: Bearer <Token>` on every
+	// request — the credential for servers running the multi-tenant
+	// control plane.
+	Token string
 }
 
 // Client talks to one Gallery service endpoint.
@@ -77,6 +83,9 @@ func NewWith(base string, opts Options) *Client {
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on a 429 (zero when the
+	// server sent none); the retry loop honors it over its own backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -113,6 +122,17 @@ func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) er
 			return err
 		}
 		backoff = c.backoff(attempt)
+		// A rate-limited server told us when capacity returns; sleeping
+		// less would burn an attempt on a guaranteed 429. Honor the hint
+		// (still jittered so a capped fleet does not re-arrive in lockstep,
+		// still bounded by RetryMax like every other backoff).
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > backoff {
+			backoff = apiErr.RetryAfter + rand.N(apiErr.RetryAfter/4+1)
+			if backoff > c.opts.RetryMax {
+				backoff = c.opts.RetryMax
+			}
+		}
 		c.opts.Sleep(backoff)
 	}
 }
@@ -143,6 +163,9 @@ func (c *Client) once(ctx context.Context, method, path string, hasBody bool, pa
 	if c.opts.Actor != "" {
 		req.Header.Set("X-Gallery-Actor", c.opts.Actor)
 	}
+	if c.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.Token)
+	}
 	if span != nil {
 		req.Header.Set("traceparent", span.Traceparent())
 	}
@@ -159,11 +182,17 @@ func (c *Client) once(ctx context.Context, method, path string, hasBody bool, pa
 		span.AnnotateInt("http.status", int64(resp.StatusCode))
 	}
 	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Status: resp.StatusCode, Msg: string(data)}
 		var e api.Error
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return &APIError{Status: resp.StatusCode, Msg: e.Error}
+			apiErr.Msg = e.Error
 		}
-		return &APIError{Status: resp.StatusCode, Msg: string(data)}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out != nil {
 		if raw, ok := out.(*[]byte); ok {
@@ -184,6 +213,11 @@ func (c *Client) once(ctx context.Context, method, path string, hasBody bool, pa
 func retryable(method string, err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
+		// 429 was rejected before any handler ran, so resending is safe
+		// for every method.
+		if apiErr.Status == http.StatusTooManyRequests {
+			return true
+		}
 		return method == http.MethodGet && apiErr.Status >= 500
 	}
 	var opErr *net.OpError

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gallery/internal/api"
+)
+
+// rateLimitedHandler answers 429 with a Retry-After for the first failN
+// requests, then succeeds.
+func rateLimitedHandler(failN int, retryAfter string, v string) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failN) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"rate limited"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(v))
+	})
+	return h, &calls
+}
+
+// TestRetryAfterHonored: on a 429 the client waits at least the server's
+// Retry-After hint (jittered upward) instead of its much smaller
+// exponential backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	h, calls := rateLimitedHandler(1, "2", `{"models":1,"instances":0,"metrics":0}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewWith(ts.URL, Options{
+		Retries: 2, Sleep: noSleep(&slept),
+		RetryBase: 10 * time.Millisecond, RetryMax: 10 * time.Second,
+	})
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats after transient 429: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	// hint=2s, jitter in [0, hint/4]: the sleep lands in [2s, 2.5s] — far
+	// above the 10ms exponential base, and under RetryMax.
+	if slept[0] < 2*time.Second || slept[0] > 2500*time.Millisecond {
+		t.Fatalf("slept %v, want within [2s, 2.5s] per Retry-After hint", slept[0])
+	}
+}
+
+// TestRetryAfterCapped: the honored hint still respects RetryMax.
+func TestRetryAfterCapped(t *testing.T) {
+	h, _ := rateLimitedHandler(1, "3600", `{"models":1,"instances":0,"metrics":0}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewWith(ts.URL, Options{
+		Retries: 2, Sleep: noSleep(&slept),
+		RetryBase: 10 * time.Millisecond, RetryMax: 500 * time.Millisecond,
+	})
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if len(slept) != 1 || slept[0] > 500*time.Millisecond {
+		t.Fatalf("slept %v, want exactly one sleep capped at RetryMax=500ms", slept)
+	}
+}
+
+// TestRetry429POST: a 429 is rejected before the handler runs, so even
+// mutations are safe to resend.
+func TestRetry429POST(t *testing.T) {
+	h, calls := rateLimitedHandler(1, "1", `{"id":"m1"}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewWith(ts.URL, Options{Retries: 2, Sleep: noSleep(&slept)})
+	if _, err := c.RegisterModel(api.RegisterModelRequest{BaseVersionID: "bv"}); err != nil {
+		t.Fatalf("register after transient 429: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (POST retried after 429)", got)
+	}
+}
+
+// TestRetry429Exhausted: the final error surfaces the RetryAfter hint so
+// callers can schedule their own backoff.
+func TestRetry429Exhausted(t *testing.T) {
+	h, _ := rateLimitedHandler(100, "7", `{}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewWith(ts.URL, Options{Retries: 1, Sleep: noSleep(&slept)})
+	_, err := c.Stats()
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+}

@@ -1,0 +1,49 @@
+package client
+
+// Tenant administration (/v1/tenants): namespace, quota, and token
+// management for servers running the multi-tenant control plane. All of
+// these require an operator token (set Options.Token).
+
+import "gallery/internal/api"
+
+// CreateNamespace registers a tenant (default-namespace operators only).
+func (c *Client) CreateNamespace(req api.CreateNamespaceRequest) (api.TenantNamespace, error) {
+	var ns api.TenantNamespace
+	err := c.do("POST", "/v1/tenants", req, &ns)
+	return ns, err
+}
+
+// Namespaces lists the tenants the caller may administer, with usage.
+func (c *Client) Namespaces() ([]api.TenantNamespace, error) {
+	var resp api.TenantsResponse
+	err := c.do("GET", "/v1/tenants", nil, &resp)
+	return resp.Namespaces, err
+}
+
+// SetQuotas overwrites a namespace's limits.
+func (c *Client) SetQuotas(ns string, req api.SetQuotasRequest) (api.TenantNamespace, error) {
+	var out api.TenantNamespace
+	err := c.do("POST", "/v1/tenants/"+ns+"/quotas", req, &out)
+	return out, err
+}
+
+// MintToken creates a credential in a namespace. The response carries the
+// secret exactly once; it cannot be recovered later.
+func (c *Client) MintToken(ns string, req api.MintTokenRequest) (api.MintTokenResponse, error) {
+	var resp api.MintTokenResponse
+	err := c.do("POST", "/v1/tenants/"+ns+"/tokens", req, &resp)
+	return resp, err
+}
+
+// Tokens lists a namespace's credentials (metadata only, no secrets).
+func (c *Client) Tokens(ns string) ([]api.TenantToken, error) {
+	var resp api.TenantTokensResponse
+	err := c.do("GET", "/v1/tenants/"+ns+"/tokens", nil, &resp)
+	return resp.Tokens, err
+}
+
+// RevokeToken invalidates a credential; it is rejected from the very next
+// request onward.
+func (c *Client) RevokeToken(ns, tokenID string) error {
+	return c.do("DELETE", "/v1/tenants/"+ns+"/tokens/"+tokenID, nil, nil)
+}

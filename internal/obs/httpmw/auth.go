@@ -1,0 +1,64 @@
+package httpmw
+
+import (
+	"net/http"
+	"strconv"
+
+	"gallery/internal/audit"
+)
+
+// Decision is an Authorizer's verdict on one request. A Status below 400
+// (conventionally 0) admits the request; otherwise the middleware writes
+// the rejection itself and the handler never runs.
+type Decision struct {
+	// Status is the HTTP status for a rejection (401, 403, 413, 429), or
+	// 0 to admit.
+	Status int
+	// Reason is the rejection message, serialized as the standard
+	// `{"error": ...}` body.
+	Reason string
+	// RetryAfter, in whole seconds, sets the Retry-After header when > 0
+	// (rate-limit rejections).
+	RetryAfter int
+	// Actor, when non-empty on an admitted request, becomes the audit
+	// actor for the handler via audit.WithActor — the verified token
+	// identity displacing any client-declared header. Left empty on
+	// read-only requests so the admit path allocates nothing.
+	Actor string
+}
+
+// Authorizer decides whether a request may proceed. Implementations must
+// be safe for concurrent use and fast: they run on every request of both
+// daemons, before any handler.
+type Authorizer interface {
+	Authorize(r *http.Request) Decision
+}
+
+// WithAuth gates next behind an Authorizer. It layers OUTSIDE Wrap (like
+// the server's actor middleware) so that admitted requests keep their
+// original *http.Request and Wrap's route-pattern attribution still
+// works; rejected requests never reach Wrap's handler chain but are
+// written through the ResponseWriter Wrap already instrumented when
+// WithAuth is mounted inside it — here we mount outside, so rejections
+// are observed by the caller's access layer only. Both daemons mount it
+// as the outermost layer.
+func WithAuth(next http.Handler, a Authorizer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := a.Authorize(r)
+		if d.Status >= 400 {
+			if d.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfter))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.Status)
+			// Hand-rolled body: the reason strings are our own (no user
+			// input beyond method/path), and this avoids an api import.
+			w.Write([]byte(`{"error":` + strconv.Quote(d.Reason) + `}`))
+			return
+		}
+		if d.Actor != "" {
+			r = r.WithContext(audit.WithActor(r.Context(), d.Actor))
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,103 @@
+package httpmw
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gallery/internal/audit"
+)
+
+// fakeAuthorizer returns a canned decision per bearer secret.
+type fakeAuthorizer struct {
+	decisions map[string]Decision
+}
+
+func (f *fakeAuthorizer) Authorize(r *http.Request) Decision {
+	return f.decisions[r.Header.Get("Authorization")]
+}
+
+func TestWithAuth(t *testing.T) {
+	var gotActor string
+	var ran bool
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ran = true
+		gotActor = audit.ActorFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WithAuth(next, &fakeAuthorizer{decisions: map[string]Decision{
+		"Bearer ok":      {},
+		"Bearer writer":  {Actor: "maps/alice"},
+		"Bearer nope":    {Status: http.StatusUnauthorized, Reason: "unknown token"},
+		"Bearer flooded": {Status: http.StatusTooManyRequests, Reason: "rate limited", RetryAfter: 3},
+	}})
+
+	t.Run("admit", func(t *testing.T) {
+		ran, gotActor = false, ""
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/v1/models", nil)
+		req.Header.Set("Authorization", "Bearer ok")
+		h.ServeHTTP(rec, req)
+		if !ran || rec.Code != http.StatusOK {
+			t.Fatalf("ran=%v code=%d", ran, rec.Code)
+		}
+		if gotActor != "" {
+			t.Fatalf("read-class admit stamped actor %q", gotActor)
+		}
+	})
+
+	t.Run("admit with actor", func(t *testing.T) {
+		ran, gotActor = false, ""
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/models", nil)
+		req.Header.Set("Authorization", "Bearer writer")
+		h.ServeHTTP(rec, req)
+		if !ran {
+			t.Fatal("handler did not run")
+		}
+		if gotActor != "maps/alice" {
+			t.Fatalf("actor = %q, want maps/alice", gotActor)
+		}
+	})
+
+	t.Run("reject", func(t *testing.T) {
+		ran = false
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/models", nil)
+		req.Header.Set("Authorization", "Bearer nope")
+		h.ServeHTTP(rec, req)
+		if ran {
+			t.Fatal("handler ran on a rejected request")
+		}
+		if rec.Code != http.StatusUnauthorized {
+			t.Fatalf("code = %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("body %q: %v", rec.Body.String(), err)
+		}
+		if body.Error != "unknown token" {
+			t.Fatalf("error = %q", body.Error)
+		}
+	})
+
+	t.Run("rate limited", func(t *testing.T) {
+		ran = false
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/v1/serving", nil)
+		req.Header.Set("Authorization", "Bearer flooded")
+		h.ServeHTTP(rec, req)
+		if ran || rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("ran=%v code=%d", ran, rec.Code)
+		}
+		if ra := rec.Header().Get("Retry-After"); ra != "3" {
+			t.Fatalf("Retry-After = %q, want 3", ra)
+		}
+	})
+}

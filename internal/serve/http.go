@@ -30,6 +30,7 @@ type Handler struct {
 	accessLog *slog.Logger
 	tracer    *trace.Tracer
 	logs      *obslog.Ring
+	auth      httpmw.Authorizer
 	pprof     bool
 	h         http.Handler
 }
@@ -62,6 +63,15 @@ func WithLogRing(r *obslog.Ring) HandlerOption {
 	return func(h *Handler) { h.logs = r }
 }
 
+// WithAuthorizer gates every route (except GET /v1/healthz, which the
+// authorizer exempts for load-balancer probes) behind the multi-tenant
+// control plane — the same bearer-token → role → rate-limit pipeline
+// galleryd enforces, typically backed by a tenant.Manager seeded from a
+// token file.
+func WithAuthorizer(a httpmw.Authorizer) HandlerOption {
+	return func(h *Handler) { h.auth = a }
+}
+
 // NewHandler wraps a Gateway in its HTTP API.
 func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	h := &Handler{gw: gw, mux: http.NewServeMux(), obs: gw.obs}
@@ -90,6 +100,11 @@ func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 		AccessLog: h.accessLog,
 		Tracer:    h.tracer,
 	})
+	if h.auth != nil {
+		// Outside Wrap for the same route-pattern-attribution reason as
+		// galleryd's actor middleware.
+		h.h = httpmw.WithAuth(h.h, h.auth)
+	}
 	return h
 }
 

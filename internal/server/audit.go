@@ -16,18 +16,25 @@ import (
 	"gallery/internal/api"
 	"gallery/internal/audit"
 	"gallery/internal/core"
+	"gallery/internal/obs"
 	obslog "gallery/internal/obs/log"
 	"gallery/internal/relstore"
 )
 
 // withActor stamps every request's context with the audit actor from the
-// X-Gallery-Actor header (default "api"), so audit events written while
-// handling the request name who asked for the mutation.
-func withActor(next http.Handler) http.Handler {
+// X-Gallery-Actor header, so audit events written while handling the
+// request name who asked for the mutation. Requests that declare no
+// identity are recorded as "anonymous" — distinguishable from any real
+// caller — and counted, so an instance can see how much of its mutation
+// traffic is unattributed. This chain only runs with auth disabled; under
+// auth the verified token identity is stamped instead and this header is
+// ignored entirely.
+func withActor(next http.Handler, anonymous *obs.Counter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		actor := r.Header.Get("X-Gallery-Actor")
 		if actor == "" {
-			actor = "api"
+			actor = "anonymous"
+			anonymous.Inc()
 		}
 		next.ServeHTTP(w, r.WithContext(audit.WithActor(r.Context(), actor)))
 	})

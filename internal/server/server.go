@@ -27,6 +27,7 @@ import (
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
+	"gallery/internal/tenant"
 	"gallery/internal/uuid"
 )
 
@@ -64,16 +65,24 @@ type Options struct {
 	Logs *obslog.Ring
 	// LogLevel gates what enters Logs (default info).
 	LogLevel slog.Level
+	// Tenants, when non-nil, turns on the multi-tenant control plane:
+	// every request must carry a bearer token, roles and per-namespace
+	// rate limits are enforced before handlers run, model/blob quotas are
+	// charged on registration and upload, the /v1/tenants admin endpoints
+	// are mounted, and the audit actor becomes the verified token identity
+	// (X-Gallery-Actor is ignored).
+	Tenants *tenant.Manager
 }
 
 // Server wires HTTP routes to the registry and rule engine.
 type Server struct {
-	reg    *core.Registry
-	repo   *rules.Repo
-	engine *rules.Engine
-	health *health.Monitor
-	mux    *http.ServeMux
-	h      http.Handler // mux behind the shared observability middleware
+	reg     *core.Registry
+	repo    *rules.Repo
+	engine  *rules.Engine
+	health  *health.Monitor
+	tenants *tenant.Manager // nil when auth is off
+	mux     *http.ServeMux
+	h       http.Handler // mux behind the shared observability middleware
 
 	obs        *obs.Registry
 	accessLog  *slog.Logger
@@ -126,11 +135,12 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 	}
 	obs.RegisterRuntime(opts.Obs)
 	s := &Server{
-		reg:    reg,
-		repo:   repo,
-		engine: engine,
-		health: opts.Health,
-		mux:    http.NewServeMux(),
+		reg:     reg,
+		repo:    repo,
+		engine:  engine,
+		health:  opts.Health,
+		tenants: opts.Tenants,
+		mux:     http.NewServeMux(),
 
 		obs:            opts.Obs,
 		tracer:         opts.Tracer,
@@ -161,15 +171,22 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 	if opts.Pprof {
 		httpmw.RegisterPprof(s.mux)
 	}
-	// withActor sits outside httpmw so the mux sees the same *Request the
-	// middleware holds (route-pattern attribution relies on that); the
-	// actor value still flows inward through the derived context.
-	s.h = withActor(httpmw.Wrap(s.mux, httpmw.Options{
+	// The actor/auth layer sits outside httpmw so the mux sees the same
+	// *Request the middleware holds (route-pattern attribution relies on
+	// that); the actor value still flows inward through the derived
+	// context. With tenants enabled, authentication replaces the
+	// self-declared actor header entirely.
+	wrapped := httpmw.Wrap(s.mux, httpmw.Options{
 		Obs:        s.obs,
 		AccessLog:  s.accessLog,
 		Tracer:     s.tracer,
 		AllLatency: s.allLatency,
-	}))
+	})
+	if s.tenants != nil {
+		s.h = httpmw.WithAuth(wrapped, s.tenants)
+	} else {
+		s.h = withActor(wrapped, opts.Obs.Counter("audit_anonymous_actor_total"))
+	}
 	go s.eventLoop()
 	return s
 }
@@ -295,6 +312,10 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /v1/rules", s.handleListRules)
 	m.HandleFunc("POST /v1/rules/{id}/select", s.handleSelect)
 	m.HandleFunc("GET /v1/alerts", s.handleAlerts)
+
+	if s.tenants != nil {
+		s.tenantRoutes()
+	}
 }
 
 // --- plumbing ---
@@ -324,12 +345,16 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &maxBytes):
 		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound):
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound), errors.Is(err, tenant.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule):
+	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule), errors.Is(err, tenant.ErrBadSpec):
 		status = http.StatusBadRequest
-	case errors.Is(err, core.ErrCycle), errors.Is(err, relstore.ErrDuplicate):
+	case errors.Is(err, core.ErrCycle), errors.Is(err, relstore.ErrDuplicate), errors.Is(err, tenant.ErrExists):
 		status = http.StatusConflict
+	case errors.Is(err, tenant.ErrForbidden), errors.Is(err, tenant.ErrModelQuota):
+		status = http.StatusForbidden
+	case errors.Is(err, tenant.ErrBlobQuota):
+		status = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, status, api.Error{Error: err.Error()})
 }
@@ -382,8 +407,14 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.Upstreams = append(spec.Upstreams, u)
 	}
+	release, err := s.reserveModelQuota(r, spec.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	m, err := s.reg.RegisterModelCtx(r.Context(), spec)
 	if err != nil {
+		release()
 		writeErr(w, err)
 		return
 	}
@@ -590,6 +621,11 @@ func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: bad model_id", core.ErrBadSpec))
 		return
 	}
+	release, err := s.reserveBlobQuota(r, int64(len(req.Blob)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	in, err := s.reg.UploadInstanceCtx(r.Context(), core.InstanceSpec{
 		ModelID:      modelID,
 		Name:         req.Name,
@@ -603,6 +639,7 @@ func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
 		Features:     req.Features,
 	}, req.Blob)
 	if err != nil {
+		release()
 		writeErr(w, err)
 		return
 	}

@@ -1,0 +1,258 @@
+package server
+
+// This file holds the multi-tenant admin endpoints (/v1/tenants) and the
+// quota hooks the model/instance mutation paths call. Everything here is
+// mounted and enforced only when Options.Tenants is set; without it the
+// server runs exactly as before.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"gallery/internal/api"
+	"gallery/internal/tenant"
+)
+
+func (s *Server) tenantRoutes() {
+	m := s.mux
+	m.HandleFunc("POST /v1/tenants", s.handleCreateNamespace)
+	m.HandleFunc("GET /v1/tenants", s.handleListNamespaces)
+	m.HandleFunc("POST /v1/tenants/{ns}/quotas", s.handleSetQuotas)
+	m.HandleFunc("POST /v1/tenants/{ns}/tokens", s.handleMintToken)
+	m.HandleFunc("GET /v1/tenants/{ns}/tokens", s.handleListTokens)
+	m.HandleFunc("DELETE /v1/tenants/{ns}/tokens/{id}", s.handleRevokeToken)
+}
+
+// admin resolves the caller for a tenant-admin request and enforces its
+// scope: operators administer their own namespace; operators of the
+// default namespace are instance admins and may administer any. The
+// route-level role check (operator) already ran in the middleware.
+func (s *Server) admin(r *http.Request, targetNS string) (tenant.Identity, error) {
+	id, ok := s.tenants.ResolveRequest(r)
+	if !ok {
+		// Unreachable when the auth middleware is mounted; defensive.
+		return tenant.Identity{}, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
+	}
+	if id.Namespace != tenant.DefaultNamespace && targetNS != "" && targetNS != id.Namespace {
+		return id, fmt.Errorf("%w: operator of %q cannot administer namespace %q", tenant.ErrForbidden, id.Namespace, targetNS)
+	}
+	return id, nil
+}
+
+func (s *Server) handleCreateNamespace(w http.ResponseWriter, r *http.Request) {
+	// Creating namespaces is instance administration: default-ns only.
+	id, err := s.admin(r, "")
+	if err == nil && id.Namespace != tenant.DefaultNamespace {
+		err = fmt.Errorf("%w: only %q operators create namespaces", tenant.ErrForbidden, tenant.DefaultNamespace)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.CreateNamespaceRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ns := tenant.Namespace{
+		Name:         req.Name,
+		MaxModels:    req.MaxModels,
+		MaxBlobBytes: req.MaxBlobBytes,
+		RatePerSec:   req.RatePerSec,
+		Burst:        req.Burst,
+	}
+	if err := s.tenants.CreateNamespace(r.Context(), ns); err != nil {
+		writeErr(w, err)
+		return
+	}
+	got, u, err := s.tenants.GetNamespace(req.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, namespaceDTO(got, u))
+}
+
+func (s *Server) handleListNamespaces(w http.ResponseWriter, r *http.Request) {
+	id, err := s.admin(r, "")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var out api.TenantsResponse
+	for _, ns := range s.tenants.Namespaces() {
+		// Own-namespace operators see only their tenant; instance admins
+		// see the fleet.
+		if id.Namespace != tenant.DefaultNamespace && ns.Name != id.Namespace {
+			continue
+		}
+		u, _ := s.tenants.GetUsage(ns.Name)
+		out.Namespaces = append(out.Namespaces, namespaceDTO(ns, u))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSetQuotas(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("ns")
+	// Quota bounds are imposed on tenants, not chosen by them.
+	id, err := s.admin(r, "")
+	if err == nil && id.Namespace != tenant.DefaultNamespace {
+		err = fmt.Errorf("%w: only %q operators set quotas", tenant.ErrForbidden, tenant.DefaultNamespace)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.SetQuotasRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.tenants.SetQuotas(r.Context(), target, req.MaxModels, req.MaxBlobBytes, req.RatePerSec, req.Burst); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ns, u, err := s.tenants.GetNamespace(target)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, namespaceDTO(ns, u))
+}
+
+func (s *Server) handleMintToken(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("ns")
+	if _, err := s.admin(r, target); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req api.MintTokenRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	role, err := tenant.ParseRole(req.Role)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	secret, tok, err := s.tenants.MintToken(r.Context(), target, req.Name, role)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.MintTokenResponse{Secret: secret, Token: tokenDTO(tok)})
+}
+
+func (s *Server) handleListTokens(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("ns")
+	if _, err := s.admin(r, target); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var out api.TenantTokensResponse
+	for _, tok := range s.tenants.Tokens(target) {
+		out.Tokens = append(out.Tokens, tokenDTO(tok))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRevokeToken(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("ns")
+	if _, err := s.admin(r, target); err != nil {
+		writeErr(w, err)
+		return
+	}
+	tokID := r.PathValue("id")
+	// Scope the lookup to the namespace in the path so an operator cannot
+	// revoke across tenants by guessing IDs.
+	found := false
+	for _, tok := range s.tenants.Tokens(target) {
+		if tok.ID == tokID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		writeErr(w, fmt.Errorf("%w: token %q in namespace %q", tenant.ErrNotFound, tokID, target))
+		return
+	}
+	if err := s.tenants.RevokeToken(r.Context(), tokID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func namespaceDTO(ns tenant.Namespace, u tenant.Usage) api.TenantNamespace {
+	return api.TenantNamespace{
+		Name:         ns.Name,
+		MaxModels:    ns.MaxModels,
+		MaxBlobBytes: ns.MaxBlobBytes,
+		RatePerSec:   ns.RatePerSec,
+		Burst:        ns.Burst,
+		Models:       u.Models,
+		BlobBytes:    u.BlobBytes,
+		Created:      ns.Created,
+	}
+}
+
+func tokenDTO(t tenant.Token) api.TenantToken {
+	return api.TenantToken{
+		ID:        t.ID,
+		Name:      t.Name,
+		Namespace: t.Namespace,
+		Role:      t.Role.String(),
+		Created:   t.Created,
+		Revoked:   t.Revoked,
+	}
+}
+
+// --- quota hooks ---
+
+// noRelease is the nil-tenant release func: quota was never reserved.
+func noRelease() {}
+
+// reserveModelQuota charges a registration against the caller's
+// namespace and validates `team/model` ownership: a name prefixed with
+// another tenant's namespace is forbidden unless the caller is in the
+// default (admin) namespace. The returned release undoes the reservation
+// when the registration fails downstream.
+func (s *Server) reserveModelQuota(r *http.Request, modelName string) (func(), error) {
+	if s.tenants == nil {
+		return noRelease, nil
+	}
+	id, ok := s.tenants.ResolveRequest(r)
+	if !ok {
+		return nil, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
+	}
+	if ns, _ := tenant.Split(modelName); ns != tenant.DefaultNamespace && ns != id.Namespace && id.Namespace != tenant.DefaultNamespace {
+		return nil, fmt.Errorf("%w: model %q is in namespace %q, caller is %q",
+			tenant.ErrForbidden, modelName, ns, id.Namespace)
+	}
+	if err := s.tenants.ReserveModel(r.Context(), id.Namespace); err != nil {
+		return nil, err
+	}
+	owner := id.Namespace
+	return func() { s.tenants.ReleaseModel(context.Background(), owner) }, nil
+}
+
+// reserveBlobQuota charges an upload's blob bytes against the caller's
+// namespace before the blob-first write begins, so concurrent uploads
+// cannot jointly overshoot the quota; release returns the bytes when the
+// upload fails.
+func (s *Server) reserveBlobQuota(r *http.Request, n int64) (func(), error) {
+	if s.tenants == nil {
+		return noRelease, nil
+	}
+	id, ok := s.tenants.ResolveRequest(r)
+	if !ok {
+		return nil, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
+	}
+	if err := s.tenants.ReserveBlob(r.Context(), id.Namespace, n); err != nil {
+		return nil, err
+	}
+	owner := id.Namespace
+	return func() { s.tenants.ReleaseBlob(context.Background(), owner, n) }, nil
+}

@@ -1,0 +1,66 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a classic token bucket: `rate` tokens refill per second up to
+// `burst`. rate <= 0 disables limiting entirely (the default-namespace
+// and back-compat posture). It carries its own lock so the request hot
+// path never contends with the Manager's control-plane mutex.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int64) *bucket {
+	b := &bucket{}
+	b.configure(rate, burst)
+	return b
+}
+
+// configure resets the bucket to a new rate/burst, starting full. A burst
+// of 0 with a positive rate defaults to max(1, rate) so "10 req/s" alone
+// behaves sensibly.
+func (b *bucket) configure(rate float64, burst int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate = rate
+	switch {
+	case rate <= 0:
+		b.burst = 0
+	case burst > 0:
+		b.burst = float64(burst)
+	default:
+		b.burst = math.Max(1, rate)
+	}
+	b.tokens = b.burst
+	b.last = time.Time{}
+}
+
+// allow consumes one token if available. When it rejects, retryAfter is
+// how long until a token will exist — the Retry-After hint.
+func (b *bucket) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,101 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	b := newBucket(10, 5) // 10 req/s sustained, burst of 5
+	now := t0
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, retry := b.allow(now)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// One token refills in 1/rate = 100ms.
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms]", retry)
+	}
+	if ok, _ := b.allow(now.Add(retry)); !ok {
+		t.Fatal("request after advertised retryAfter rejected")
+	}
+	// After a long idle stretch tokens cap at burst, not accumulate.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if ok, _ := b.allow(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d after idle, want burst=5", admitted)
+	}
+}
+
+func TestBucketDisabled(t *testing.T) {
+	b := newBucket(0, 0) // rate 0 = unlimited
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.allow(t0); !ok {
+			t.Fatal("unlimited bucket rejected a request")
+		}
+	}
+}
+
+func TestBucketReconfigure(t *testing.T) {
+	b := newBucket(0, 0)
+	b.configure(1, 2)
+	now := t0
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.allow(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after configure, want burst=2", admitted)
+	}
+	// Burst defaulting: rate>0 with burst 0 gets max(1, rate).
+	b2 := newBucket(0, 0)
+	b2.configure(4, 0)
+	admitted = 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b2.allow(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d with defaulted burst, want 4", admitted)
+	}
+}
+
+// TestBucketConcurrent hammers one bucket from many goroutines at a frozen
+// instant: admissions must total exactly the burst, never more.
+func TestBucketConcurrent(t *testing.T) {
+	b := newBucket(100, 50)
+	var (
+		wg       sync.WaitGroup
+		admitted atomic.Int64
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if ok, _ := b.allow(t0); ok {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 50 {
+		t.Fatalf("admitted %d concurrent requests, want exactly burst=50", got)
+	}
+}

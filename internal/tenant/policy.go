@@ -1,0 +1,128 @@
+package tenant
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"gallery/internal/audit"
+	"gallery/internal/obs/httpmw"
+)
+
+// Authorize is the httpmw.Authorizer both daemons mount when auth is on.
+// The pipeline per request: bearer token → identity (401 without one) →
+// namespace rate limit (429 + Retry-After) → role check against the
+// route class (403, audited) → admit. Read-class requests admit with no
+// context mutation at all, which is what keeps the authed predict path
+// at zero extra allocations.
+func (m *Manager) Authorize(r *http.Request) httpmw.Decision {
+	// Liveness stays unauthenticated: load balancers probe it with no
+	// credentials, and it leaks nothing.
+	if r.Method == http.MethodGet && r.URL.Path == "/v1/healthz" {
+		return httpmw.Decision{}
+	}
+	ts, ok := m.resolveState(BearerSecret(r))
+	if !ok {
+		m.cUnauthenticated.Inc()
+		return httpmw.Decision{Status: http.StatusUnauthorized, Reason: "missing or invalid bearer token"}
+	}
+	if ok, retry := ts.ns.limiter.allow(m.clk.Now()); !ok {
+		m.cRateLimited.Inc()
+		secs := int((retry + 999_999_999) / 1_000_000_000) // ceil to whole seconds
+		if secs < 1 {
+			secs = 1
+		}
+		return httpmw.Decision{
+			Status:     http.StatusTooManyRequests,
+			Reason:     "namespace " + ts.id.Namespace + " rate limit exceeded",
+			RetryAfter: secs,
+		}
+	}
+	need, mutation := classify(r.Method, r.URL.Path)
+	if ts.id.Role < need {
+		m.cForbidden.Inc()
+		m.recordDenied(r, ts.id)
+		return httpmw.Decision{
+			Status: http.StatusForbidden,
+			Reason: ts.id.Role.String() + " token cannot " + r.Method + " " + r.URL.Path,
+		}
+	}
+	if mutation {
+		// A self-declared actor header is meaningless under auth: the
+		// verified identity wins, and we count the attempt so operators can
+		// find clients still sending it.
+		if r.Header.Get("X-Gallery-Actor") != "" {
+			m.cActorIgnored.Inc()
+		}
+		return httpmw.Decision{Actor: ts.id.Actor}
+	}
+	return httpmw.Decision{}
+}
+
+// BearerSecret extracts the token secret from an Authorization header,
+// allocation-free ("Bearer <secret>"; empty when absent or malformed).
+func BearerSecret(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && h[:len(prefix)] == prefix {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+// ResolveRequest authenticates a request's bearer token for handlers
+// that need the caller's identity (quota charging, tenant admin scope).
+// It re-reads the secret cache, so it costs one sync.Map load.
+func (m *Manager) ResolveRequest(r *http.Request) (Identity, bool) {
+	return m.Resolve(BearerSecret(r))
+}
+
+// classify maps a route onto the least role that may call it and whether
+// it mutates state (mutations get the verified actor stamped into the
+// request context for the audit trail).
+//
+// Role matrix:
+//
+//	reader     all GETs; predict, search, drift/skew analyses, fleet health
+//	publisher  model/instance lifecycle: register, evolve, deprecate,
+//	           upload, promote, deps, metrics, health ingest, audit/trace
+//	           ingest
+//	operator   rules (commit/select) and /v1/tenants administration
+func classify(method, path string) (need Role, mutation bool) {
+	if method == http.MethodGet || method == http.MethodHead {
+		// Token listings expose credential metadata; managing tenants —
+		// even reading them — is operator work.
+		if strings.HasPrefix(path, "/v1/tenants") {
+			return RoleOperator, false
+		}
+		return RoleReader, false
+	}
+	switch {
+	case strings.HasPrefix(path, "/v1/predict/"),
+		path == "/v1/search",
+		path == "/v1/health/fleet",
+		strings.HasSuffix(path, "/drift"),
+		strings.HasSuffix(path, "/skew"):
+		// POST-shaped queries: they compute, they don't mutate.
+		return RoleReader, false
+	case strings.HasPrefix(path, "/v1/tenants"),
+		path == "/v1/rules",
+		strings.HasPrefix(path, "/v1/rules/"):
+		return RoleOperator, true
+	}
+	return RolePublisher, true
+}
+
+// recordDenied emits the authz-denial audit event: who was refused what.
+func (m *Manager) recordDenied(r *http.Request, id Identity) {
+	if m.aud == nil {
+		return
+	}
+	_ = m.aud.Record(context.Background(), audit.Event{
+		Actor:      id.Actor,
+		Action:     audit.ActionAuthDenied,
+		EntityType: audit.EntityNamespace,
+		EntityID:   id.Namespace,
+		Detail:     r.Method + " " + r.URL.Path + " (role " + id.Role.String() + ")",
+	})
+}

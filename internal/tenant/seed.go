@@ -1,0 +1,90 @@
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Seed is the -token-file format: namespaces and pre-shared tokens to
+// install at boot. Applying a seed is idempotent — existing namespaces
+// keep their stored quotas and a token whose secret is already known is
+// left alone — so daemons can apply the same file on every start.
+//
+//	{
+//	  "namespaces": [
+//	    {"name": "maps", "max_models": 100, "max_blob_bytes": 1073741824,
+//	     "rate_per_sec": 500, "burst": 1000}
+//	  ],
+//	  "tokens": [
+//	    {"secret": "gal_...", "name": "maps-ci", "namespace": "maps",
+//	     "role": "publisher"}
+//	  ]
+//	}
+type Seed struct {
+	Namespaces []SeedNamespace `json:"namespaces"`
+	Tokens     []SeedToken     `json:"tokens"`
+}
+
+// SeedNamespace declares a tenant and its quotas (zero = unlimited).
+type SeedNamespace struct {
+	Name         string  `json:"name"`
+	MaxModels    int64   `json:"max_models"`
+	MaxBlobBytes int64   `json:"max_blob_bytes"`
+	RatePerSec   float64 `json:"rate_per_sec"`
+	Burst        int64   `json:"burst"`
+}
+
+// SeedToken declares a pre-shared credential.
+type SeedToken struct {
+	Secret    string `json:"secret"`
+	Name      string `json:"name"`
+	Namespace string `json:"namespace"`
+	Role      string `json:"role"`
+}
+
+// LoadSeed reads a token file.
+func LoadSeed(path string) (Seed, error) {
+	var s Seed
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("tenant: parse token file %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ApplySeed installs a seed's namespaces and tokens, skipping whatever
+// already exists.
+func (m *Manager) ApplySeed(ctx context.Context, s Seed) error {
+	for _, ns := range s.Namespaces {
+		err := m.CreateNamespace(ctx, Namespace{
+			Name:         ns.Name,
+			MaxModels:    ns.MaxModels,
+			MaxBlobBytes: ns.MaxBlobBytes,
+			RatePerSec:   ns.RatePerSec,
+			Burst:        ns.Burst,
+		})
+		if err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	for _, t := range s.Tokens {
+		role, err := ParseRole(t.Role)
+		if err != nil {
+			return err
+		}
+		ns := t.Namespace
+		if ns == "" {
+			ns = DefaultNamespace
+		}
+		if _, err := m.EnsureToken(ctx, t.Secret, ns, t.Name, role); err != nil {
+			return err
+		}
+	}
+	return nil
+}

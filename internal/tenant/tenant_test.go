@@ -1,0 +1,387 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gallery/internal/clock"
+	"gallery/internal/obs"
+	"gallery/internal/relstore"
+	"gallery/internal/uuid"
+	"gallery/internal/wal"
+)
+
+var t0 = time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := Open(relstore.NewMemory(), Options{
+		Clock: clock.NewMock(t0),
+		UUIDs: uuid.NewSeeded(7),
+		Obs:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct{ in, ns, rest string }{
+		{"maps/eta", "maps", "eta"},
+		{"eta", "default", "eta"},
+		{"a/b/c", "a", "b/c"},
+		{"/leading", "default", "/leading"},
+	} {
+		ns, rest := Split(tc.in)
+		if ns != tc.ns || rest != tc.rest {
+			t.Errorf("Split(%q) = %q,%q want %q,%q", tc.in, ns, rest, tc.ns, tc.rest)
+		}
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Role
+	}{{"reader", RoleReader}, {"Publisher", RolePublisher}, {"OPERATOR", RoleOperator}} {
+		got, err := ParseRole(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRole(%q) = %v,%v want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseRole("root"); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("ParseRole(root) err = %v, want ErrBadSpec", err)
+	}
+	if RoleReader >= RolePublisher || RolePublisher >= RoleOperator {
+		t.Fatal("role order broken")
+	}
+}
+
+func TestDefaultNamespaceAlwaysExists(t *testing.T) {
+	m := newManager(t)
+	if _, _, err := m.GetNamespace(DefaultNamespace); err != nil {
+		t.Fatalf("default namespace missing: %v", err)
+	}
+}
+
+func TestMintResolveRevoke(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+	secret, tok, err := m.MintToken(ctx, "maps", "alice", RolePublisher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := m.Resolve(secret)
+	if !ok {
+		t.Fatal("freshly minted token did not resolve")
+	}
+	if id.Namespace != "maps" || id.Role != RolePublisher || id.Actor != "maps/alice" {
+		t.Fatalf("identity = %+v", id)
+	}
+	// Resolve twice: second hit comes from the secret cache.
+	if _, ok := m.Resolve(secret); !ok {
+		t.Fatal("cached resolve failed")
+	}
+	if _, ok := m.Resolve("gal_bogus"); ok {
+		t.Fatal("bogus secret resolved")
+	}
+	if err := m.RevokeToken(ctx, tok.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation must take effect on the very next lookup, including the
+	// cached path.
+	if _, ok := m.Resolve(secret); ok {
+		t.Fatal("revoked token still resolves")
+	}
+	if err := m.RevokeToken(ctx, tok.ID); err != nil {
+		t.Fatalf("revoke not idempotent: %v", err)
+	}
+	if err := m.RevokeToken(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("revoking unknown token: %v", err)
+	}
+}
+
+// TestPersistence proves the control plane rides the WAL: namespaces,
+// tokens, revocations, and consumed quota all survive a store reopen.
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	store, err := relstore.Open(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m, err := Open(store, Options{Clock: clock.NewMock(t0), UUIDs: uuid.NewSeeded(7), Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps", MaxModels: 5, MaxBlobBytes: 1000, RatePerSec: 10, Burst: 20}); err != nil {
+		t.Fatal(err)
+	}
+	aliveSecret, _, err := m.MintToken(ctx, "maps", "alice", RolePublisher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSecret, deadTok, err := m.MintToken(ctx, "maps", "mallory", RoleOperator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RevokeToken(ctx, deadTok.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveModel(ctx, "maps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveBlob(ctx, "maps", 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := relstore.Open(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	m2, err := Open(store2, Options{Clock: clock.NewMock(t0), UUIDs: uuid.NewSeeded(8), Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, u, err := m2.GetNamespace("maps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.MaxModels != 5 || ns.MaxBlobBytes != 1000 || ns.RatePerSec != 10 || ns.Burst != 20 {
+		t.Fatalf("recovered namespace = %+v", ns)
+	}
+	if u.Models != 1 || u.BlobBytes != 400 {
+		t.Fatalf("recovered usage = %+v, want models=1 blob_bytes=400", u)
+	}
+	if id, ok := m2.Resolve(aliveSecret); !ok || id.Actor != "maps/alice" {
+		t.Fatalf("live token lost in recovery (ok=%v id=%+v)", ok, id)
+	}
+	if _, ok := m2.Resolve(deadSecret); ok {
+		t.Fatal("revoked token resurrected by recovery")
+	}
+	// The recovered usage still enforces: 601 more bytes would break 1000.
+	if err := m2.ReserveBlob(ctx, "maps", 601); !errors.Is(err, ErrBlobQuota) {
+		t.Fatalf("recovered quota not enforced: %v", err)
+	}
+}
+
+// TestQuotaConcurrentReserve races reservations against one bound: with
+// MaxBlobBytes=1000 and ten concurrent 200-byte reserves, exactly five
+// may win regardless of interleaving.
+func TestQuotaConcurrentReserve(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps", MaxBlobBytes: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		won  int
+		lost int
+	)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := m.ReserveBlob(ctx, "maps", 200)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				won++
+			} else if errors.Is(err, ErrBlobQuota) {
+				lost++
+			} else {
+				t.Errorf("unexpected reserve error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if won != 5 || lost != 5 {
+		t.Fatalf("won=%d lost=%d, want exactly 5/5", won, lost)
+	}
+	// Releasing one reservation frees exactly its bytes for the next.
+	m.ReleaseBlob(ctx, "maps", 200)
+	if err := m.ReserveBlob(ctx, "maps", 200); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+	if err := m.ReserveBlob(ctx, "maps", 1); !errors.Is(err, ErrBlobQuota) {
+		t.Fatalf("quota over-released: %v", err)
+	}
+}
+
+func TestModelQuota(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps", MaxModels: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.ReserveModel(ctx, "maps"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ReserveModel(ctx, "maps"); !errors.Is(err, ErrModelQuota) {
+		t.Fatalf("third model admitted: %v", err)
+	}
+	m.ReleaseModel(ctx, "maps")
+	if err := m.ReserveModel(ctx, "maps"); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+	// The default namespace is unlimited.
+	for i := 0; i < 100; i++ {
+		if err := m.ReserveModel(ctx, DefaultNamespace); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentMintRevokeResolve is the -race workout: minting, revoking,
+// and resolving the same namespace's tokens from many goroutines.
+func TestConcurrentMintRevokeResolve(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				secret, tok, err := m.MintToken(ctx, "maps", fmt.Sprintf("w%d-%d", w, i), RoleReader)
+				if err != nil {
+					t.Errorf("mint: %v", err)
+					return
+				}
+				if _, ok := m.Resolve(secret); !ok {
+					t.Error("minted token did not resolve")
+					return
+				}
+				if i%2 == 0 {
+					if err := m.RevokeToken(ctx, tok.ID); err != nil {
+						t.Errorf("revoke: %v", err)
+						return
+					}
+					if _, ok := m.Resolve(secret); ok {
+						t.Error("revoked token resolved")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := workers * 12 // 13 of each worker's 25 tokens are revoked (even i)
+	toks := m.Tokens("maps")
+	if len(toks) != workers*25 {
+		t.Fatalf("tokens = %d, want %d", len(toks), workers*25)
+	}
+	live := 0
+	for _, tok := range toks {
+		if !tok.Revoked {
+			live++
+		}
+	}
+	if live != want {
+		t.Fatalf("live tokens = %d, want %d", live, want)
+	}
+}
+
+func TestSeedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens.json")
+	blob := `{
+	  "namespaces": [{"name": "maps", "max_models": 3, "rate_per_sec": 5, "burst": 10}],
+	  "tokens": [
+	    {"secret": "gal_seed_reader", "name": "ci", "namespace": "maps", "role": "reader"},
+	    {"secret": "gal_seed_admin", "name": "root", "role": "operator"}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	seed, err := LoadSeed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newManager(t)
+	ctx := context.Background()
+	if err := m.ApplySeed(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: applying the same seed again changes nothing.
+	if err := m.ApplySeed(ctx, seed); err != nil {
+		t.Fatalf("second apply: %v", err)
+	}
+	if id, ok := m.Resolve("gal_seed_reader"); !ok || id.Namespace != "maps" || id.Role != RoleReader {
+		t.Fatalf("seeded reader = %+v ok=%v", id, ok)
+	}
+	// A token without a namespace lands in default.
+	if id, ok := m.Resolve("gal_seed_admin"); !ok || id.Namespace != DefaultNamespace || id.Role != RoleOperator {
+		t.Fatalf("seeded admin = %+v ok=%v", id, ok)
+	}
+	if got := m.Tokens("maps"); len(got) != 1 {
+		t.Fatalf("maps tokens = %d, want 1 (idempotency broken)", len(got))
+	}
+	ns, _, err := m.GetNamespace("maps")
+	if err != nil || ns.MaxModels != 3 {
+		t.Fatalf("seeded namespace = %+v err=%v", ns, err)
+	}
+}
+
+func TestNamespaceValidation(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	for _, bad := range []string{"", "a/b", "has space"} {
+		if err := m.CreateNamespace(ctx, Namespace{Name: bad}); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("CreateNamespace(%q) = %v, want ErrBadSpec", bad, err)
+		}
+	}
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps"}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate namespace: %v", err)
+	}
+	if _, _, err := m.MintToken(ctx, "ghost", "x", RoleReader); !errors.Is(err, ErrNotFound) {
+		t.Errorf("mint in unknown namespace: %v", err)
+	}
+}
+
+func TestSetQuotasReconfiguresLimiter(t *testing.T) {
+	clk := clock.NewMock(t0)
+	m, err := Open(relstore.NewMemory(), Options{Clock: clk, UUIDs: uuid.NewSeeded(7), Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.CreateNamespace(ctx, Namespace{Name: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetQuotas(ctx, "maps", 0, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ns, _, _ := m.GetNamespace("maps")
+	if ns.RatePerSec != 1 || ns.Burst != 2 {
+		t.Fatalf("quotas = %+v", ns)
+	}
+	if err := m.SetQuotas(ctx, "ghost", 0, 0, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("set quotas on unknown namespace: %v", err)
+	}
+}
