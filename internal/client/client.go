@@ -419,6 +419,14 @@ func (c *Client) InsertMetricsBlob(instanceID, scope string, blob []byte) error 
 		return err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	// This is the one call that bypasses once() (the body is raw text,
+	// not JSON), so it must attach the identity headers itself.
+	if c.opts.Actor != "" {
+		req.Header.Set("X-Gallery-Actor", c.opts.Actor)
+	}
+	if c.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.Token)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

@@ -247,6 +247,13 @@ func (g *Registry) versionByIDLocked(id uuid.UUID) (*VersionRecord, error) {
 	return rowToVersion(row)
 }
 
+// Version fetches one version record by primary key.
+func (g *Registry) Version(id uuid.UUID) (*VersionRecord, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.versionByIDLocked(id)
+}
+
 // VersionHistory returns a model's version records, oldest first.
 func (g *Registry) VersionHistory(id uuid.UUID) ([]*VersionRecord, error) {
 	rows, err := g.dal.Meta().Select(relstore.Query{

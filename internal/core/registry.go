@@ -324,16 +324,27 @@ func (g *Registry) DeprecateModel(id uuid.UUID) error {
 // DeprecateModelCtx is DeprecateModel carrying the caller's context for
 // audit and trace lineage.
 func (g *Registry) DeprecateModelCtx(ctx context.Context, id uuid.UUID) error {
+	_, err := g.DeprecateModelReport(ctx, id)
+	return err
+}
+
+// DeprecateModelReport is DeprecateModelCtx reporting whether this call
+// performed the active→deprecated transition (false when the model was
+// already deprecated — deprecation is idempotent). The transition is
+// decided under the registry lock, so exactly one of any set of racing
+// calls reports true; the multi-tenant layer relies on that to release
+// the owning namespace's model-quota slot exactly once.
+func (g *Registry) DeprecateModelReport(ctx context.Context, id uuid.UUID) (retired bool, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	m, err := g.getModelLocked(id)
 	if err != nil {
-		return err
+		return false, err
 	}
 	wasDeprecated := m.Deprecated
 	m.Deprecated = true
 	if err := g.dal.Meta().UpdateCtx(ctx, TableModels, modelToRow(m)); err != nil {
-		return err
+		return false, err
 	}
 	if !wasDeprecated {
 		g.audited(ctx, audit.Event{
@@ -342,7 +353,7 @@ func (g *Registry) DeprecateModelCtx(ctx context.Context, id uuid.UUID) error {
 			Before: "active", After: "deprecated",
 		})
 	}
-	return nil
+	return !wasDeprecated, nil
 }
 
 // --- instances ---

@@ -84,6 +84,11 @@ type Server struct {
 	mux     *http.ServeMux
 	h       http.Handler // mux behind the shared observability middleware
 
+	// routePatterns records every registered mux pattern, so tests can
+	// assert each route against the tenant role classification and a new
+	// route cannot silently land in the wrong class.
+	routePatterns []string
+
 	obs        *obs.Registry
 	accessLog  *slog.Logger
 	logs       *obslog.Ring
@@ -259,59 +264,65 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.done) })
 }
 
+// handle registers a route on the mux and records its pattern for the
+// classification-coverage test.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routePatterns = append(s.routePatterns, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
 func (s *Server) routes() {
-	m := s.mux
-	m.HandleFunc("POST /v1/models", s.handleRegisterModel)
-	m.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
-	m.HandleFunc("GET /v1/models", s.handleModelsByBase)
-	m.HandleFunc("POST /v1/models/{id}/evolve", s.handleEvolveModel)
-	m.HandleFunc("GET /v1/models/{id}/evolution", s.handleEvolution)
-	m.HandleFunc("POST /v1/models/{id}/deprecate", s.handleDeprecateModel)
-	m.HandleFunc("GET /v1/models/{id}/versions", s.handleVersions)
-	m.HandleFunc("GET /v1/models/{id}/production", s.handleProductionVersion)
-	m.HandleFunc("GET /v1/models/{id}/upstreams", s.handleUpstreams)
-	m.HandleFunc("GET /v1/models/{id}/downstreams", s.handleDownstreams)
-	m.HandleFunc("POST /v1/versions/{id}/promote", s.handlePromote)
-	m.HandleFunc("POST /v1/deps", s.handleAddDep)
-	m.HandleFunc("DELETE /v1/deps", s.handleRemoveDep)
+	s.handle("POST /v1/models", s.handleRegisterModel)
+	s.handle("GET /v1/models/{id}", s.handleGetModel)
+	s.handle("GET /v1/models", s.handleModelsByBase)
+	s.handle("POST /v1/models/{id}/evolve", s.handleEvolveModel)
+	s.handle("GET /v1/models/{id}/evolution", s.handleEvolution)
+	s.handle("POST /v1/models/{id}/deprecate", s.handleDeprecateModel)
+	s.handle("GET /v1/models/{id}/versions", s.handleVersions)
+	s.handle("GET /v1/models/{id}/production", s.handleProductionVersion)
+	s.handle("GET /v1/models/{id}/upstreams", s.handleUpstreams)
+	s.handle("GET /v1/models/{id}/downstreams", s.handleDownstreams)
+	s.handle("POST /v1/versions/{id}/promote", s.handlePromote)
+	s.handle("POST /v1/deps", s.handleAddDep)
+	s.handle("DELETE /v1/deps", s.handleRemoveDep)
 
-	m.HandleFunc("POST /v1/instances", s.handleUploadInstance)
-	m.HandleFunc("GET /v1/instances/{id}", s.handleGetInstance)
-	m.HandleFunc("GET /v1/instances/{id}/blob", s.handleGetBlob)
-	m.HandleFunc("POST /v1/instances/{id}/deprecate", s.handleDeprecateInstance)
-	m.HandleFunc("POST /v1/instances/{id}/promote", s.handlePromoteInstance)
-	m.HandleFunc("POST /v1/instances/{id}/metrics", s.handleInsertMetric)
-	m.HandleFunc("POST /v1/instances/{id}/metricset", s.handleInsertMetrics)
-	m.HandleFunc("GET /v1/instances/{id}/metrics", s.handleMetricSeries)
-	m.HandleFunc("POST /v1/instances/{id}/drift", s.handleDrift)
-	m.HandleFunc("POST /v1/instances/{id}/skew", s.handleSkew)
+	s.handle("POST /v1/instances", s.handleUploadInstance)
+	s.handle("GET /v1/instances/{id}", s.handleGetInstance)
+	s.handle("GET /v1/instances/{id}/blob", s.handleGetBlob)
+	s.handle("POST /v1/instances/{id}/deprecate", s.handleDeprecateInstance)
+	s.handle("POST /v1/instances/{id}/promote", s.handlePromoteInstance)
+	s.handle("POST /v1/instances/{id}/metrics", s.handleInsertMetric)
+	s.handle("POST /v1/instances/{id}/metricset", s.handleInsertMetrics)
+	s.handle("GET /v1/instances/{id}/metrics", s.handleMetricSeries)
+	s.handle("POST /v1/instances/{id}/drift", s.handleDrift)
+	s.handle("POST /v1/instances/{id}/skew", s.handleSkew)
 
-	m.HandleFunc("POST /v1/instances/{id}/metricsblob", s.handleInsertMetricsBlob)
-	m.HandleFunc("POST /v1/health/fleet", s.handleFleetHealth)
+	s.handle("POST /v1/instances/{id}/metricsblob", s.handleInsertMetricsBlob)
+	s.handle("POST /v1/health/fleet", s.handleFleetHealth)
 	if s.health != nil {
 		// Continuous health: gateways flush observation windows in, the
 		// monitor's verdicts stream out.
-		m.HandleFunc("POST /v1/health/observations", s.handleHealthObservations)
-		m.HandleFunc("GET /v1/health/models", s.handleListModelHealth)
-		m.HandleFunc("GET /v1/health/models/{id}", s.handleGetModelHealth)
+		s.handle("POST /v1/health/observations", s.handleHealthObservations)
+		s.handle("GET /v1/health/models", s.handleListModelHealth)
+		s.handle("GET /v1/health/models/{id}", s.handleGetModelHealth)
 	}
 
-	m.HandleFunc("POST /v1/search", s.handleSearch)
-	m.HandleFunc("GET /v1/lineage/{base}", s.handleLineage)
-	m.HandleFunc("GET /v1/stats", s.handleStats)
-	m.HandleFunc("GET /v1/audit", s.handleListAudit)
-	m.HandleFunc("POST /v1/audit", s.handleIngestAudit)
-	m.HandleFunc("GET /v1/audit/entity/{id}", s.handleEntityTimeline)
-	m.HandleFunc("GET /v1/debug/logs", s.handleDebugLogs)
-	m.HandleFunc("GET /v1/debug/metrics", s.handleDebugMetrics)
-	m.HandleFunc("GET /v1/debug/traces", s.handleListTraces)
-	m.HandleFunc("GET /v1/debug/traces/{id}", s.handleGetTrace)
-	m.HandleFunc("POST /v1/debug/traces", s.handleIngestTraces)
+	s.handle("POST /v1/search", s.handleSearch)
+	s.handle("GET /v1/lineage/{base}", s.handleLineage)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/audit", s.handleListAudit)
+	s.handle("POST /v1/audit", s.handleIngestAudit)
+	s.handle("GET /v1/audit/entity/{id}", s.handleEntityTimeline)
+	s.handle("GET /v1/debug/logs", s.handleDebugLogs)
+	s.handle("GET /v1/debug/metrics", s.handleDebugMetrics)
+	s.handle("GET /v1/debug/traces", s.handleListTraces)
+	s.handle("GET /v1/debug/traces/{id}", s.handleGetTrace)
+	s.handle("POST /v1/debug/traces", s.handleIngestTraces)
 
-	m.HandleFunc("POST /v1/rules", s.handleCommitRules)
-	m.HandleFunc("GET /v1/rules", s.handleListRules)
-	m.HandleFunc("POST /v1/rules/{id}/select", s.handleSelect)
-	m.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	s.handle("POST /v1/rules", s.handleCommitRules)
+	s.handle("GET /v1/rules", s.handleListRules)
+	s.handle("POST /v1/rules/{id}/select", s.handleSelect)
+	s.handle("GET /v1/alerts", s.handleAlerts)
 
 	if s.tenants != nil {
 		s.tenantRoutes()
@@ -455,6 +466,10 @@ func (s *Server) handleEvolveModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if _, err := s.authorizeModelIDWrite(r, id); err != nil {
+		writeErr(w, err)
+		return
+	}
 	var req api.EvolveModelRequest
 	if err := s.decode(w, r, &req); err != nil {
 		writeErr(w, err)
@@ -488,9 +503,21 @@ func (s *Server) handleDeprecateModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.reg.DeprecateModelCtx(r.Context(), id); err != nil {
+	owner, err := s.authorizeModelIDWrite(r, id)
+	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	retired, err := s.reg.DeprecateModelReport(r.Context(), id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if retired {
+		// A deprecated model no longer occupies one of the namespace's
+		// model slots; the report is true exactly once per model, so the
+		// release cannot double-credit.
+		s.releaseModelQuota(r.Context(), owner)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -533,6 +560,17 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if s.tenants != nil {
+		v, err := s.reg.Version(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if _, err := s.authorizeModelIDWrite(r, v.ModelID); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
 	if err := s.reg.PromoteCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
@@ -572,6 +610,13 @@ func (s *Server) handleAddDep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// Ownership follows the dependent side: adding the edge bumps from's
+	// version chain, while to is only referenced — depending on another
+	// team's model is the normal cross-team case.
+	if _, err := s.authorizeModelIDWrite(r, from); err != nil {
+		writeErr(w, err)
+		return
+	}
 	if err := s.reg.AddDependency(from, to); err != nil {
 		writeErr(w, err)
 		return
@@ -582,6 +627,10 @@ func (s *Server) handleAddDep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRemoveDep(w http.ResponseWriter, r *http.Request) {
 	from, to, err := s.depPair(w, r)
 	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if _, err := s.authorizeModelIDWrite(r, from); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -621,7 +670,12 @@ func (s *Server) handleUploadInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: bad model_id", core.ErrBadSpec))
 		return
 	}
-	release, err := s.reserveBlobQuota(r, int64(len(req.Blob)))
+	owner, err := s.authorizeModelIDWrite(r, modelID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	release, err := s.reserveBlobQuota(r.Context(), owner, int64(len(req.Blob)))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -705,6 +759,10 @@ func (s *Server) handlePromoteInstance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if _, err := s.authorizeInstanceWrite(r, id); err != nil {
+		writeErr(w, err)
+		return
+	}
 	if err := s.reg.PromoteInstanceCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
@@ -718,6 +776,10 @@ func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
+	if _, err := s.authorizeInstanceWrite(r, id); err != nil {
+		writeErr(w, err)
+		return
+	}
 	if err := s.reg.DeprecateInstanceCtx(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
@@ -728,6 +790,10 @@ func (s *Server) handleDeprecateInstance(w http.ResponseWriter, r *http.Request)
 func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 	id, err := pathUUID(r, "id")
 	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if _, err := s.authorizeInstanceWrite(r, id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -750,6 +816,10 @@ func (s *Server) handleInsertMetric(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInsertMetrics(w http.ResponseWriter, r *http.Request) {
 	id, err := pathUUID(r, "id")
 	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if _, err := s.authorizeInstanceWrite(r, id); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -851,6 +921,11 @@ func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
+	owner, err := s.authorizeInstanceWrite(r, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	scope := core.Scope(r.URL.Query().Get("scope"))
 	limit := min(int64(16<<20), s.maxBody)
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
@@ -863,7 +938,16 @@ func (s *Server) handleInsertMetricsBlob(w http.ResponseWriter, r *http.Request)
 		writeErr(w, fmt.Errorf("%w: read metrics blob: %v", core.ErrBadSpec, err))
 		return
 	}
+	// The parsed pairs land as stored metric rows, so bulk ingestion is
+	// bounded by the same byte quota as instance blobs — without the
+	// charge, this route would be an unmetered path to unbounded storage.
+	release, err := s.reserveBlobQuota(r.Context(), owner, int64(len(blob)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	if err := s.reg.InsertMetricsBlob(id, scope, blob); err != nil {
+		release()
 		writeErr(w, err)
 		return
 	}

@@ -12,16 +12,16 @@ import (
 
 	"gallery/internal/api"
 	"gallery/internal/tenant"
+	"gallery/internal/uuid"
 )
 
 func (s *Server) tenantRoutes() {
-	m := s.mux
-	m.HandleFunc("POST /v1/tenants", s.handleCreateNamespace)
-	m.HandleFunc("GET /v1/tenants", s.handleListNamespaces)
-	m.HandleFunc("POST /v1/tenants/{ns}/quotas", s.handleSetQuotas)
-	m.HandleFunc("POST /v1/tenants/{ns}/tokens", s.handleMintToken)
-	m.HandleFunc("GET /v1/tenants/{ns}/tokens", s.handleListTokens)
-	m.HandleFunc("DELETE /v1/tenants/{ns}/tokens/{id}", s.handleRevokeToken)
+	s.handle("POST /v1/tenants", s.handleCreateNamespace)
+	s.handle("GET /v1/tenants", s.handleListNamespaces)
+	s.handle("POST /v1/tenants/{ns}/quotas", s.handleSetQuotas)
+	s.handle("POST /v1/tenants/{ns}/tokens", s.handleMintToken)
+	s.handle("GET /v1/tenants/{ns}/tokens", s.handleListTokens)
+	s.handle("DELETE /v1/tenants/{ns}/tokens/{id}", s.handleRevokeToken)
 }
 
 // admin resolves the caller for a tenant-admin request and enforces its
@@ -209,50 +209,115 @@ func tokenDTO(t tenant.Token) api.TenantToken {
 	}
 }
 
-// --- quota hooks ---
+// --- namespace ownership and quota hooks ---
+
+// The middleware's role check is coarse (publisher may mutate); the
+// helpers below add the fine-grained half of tenant isolation: a
+// mutation must target a model the caller's namespace owns. Ownership
+// derives from the model name's `team/` prefix (tenant.Split), and
+// identities of the default namespace are exempt — they are instance
+// admins and act across tenants, the same exemption the tenant-admin
+// endpoints apply. All helpers are no-ops when auth is off.
 
 // noRelease is the nil-tenant release func: quota was never reserved.
 func noRelease() {}
 
-// reserveModelQuota charges a registration against the caller's
-// namespace and validates `team/model` ownership: a name prefixed with
-// another tenant's namespace is forbidden unless the caller is in the
-// default (admin) namespace. The returned release undoes the reservation
-// when the registration fails downstream.
+// resolveIdentity returns the verified caller. Failure is unreachable
+// when the auth middleware is mounted; defensive.
+func (s *Server) resolveIdentity(r *http.Request) (tenant.Identity, error) {
+	id, ok := s.tenants.ResolveRequest(r)
+	if !ok {
+		return tenant.Identity{}, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
+	}
+	return id, nil
+}
+
+// authorizeModelWrite enforces namespace ownership of the named model
+// for a mutation, returning the owning namespace for quota accounting.
+func (s *Server) authorizeModelWrite(r *http.Request, modelName string) (owner string, err error) {
+	if s.tenants == nil {
+		return "", nil
+	}
+	id, err := s.resolveIdentity(r)
+	if err != nil {
+		return "", err
+	}
+	ns, _ := tenant.Split(modelName)
+	if ns != id.Namespace && id.Namespace != tenant.DefaultNamespace {
+		return "", fmt.Errorf("%w: model %q is owned by namespace %q, caller is %q",
+			tenant.ErrForbidden, modelName, ns, id.Namespace)
+	}
+	return ns, nil
+}
+
+// authorizeModelIDWrite is authorizeModelWrite for ID-addressed routes:
+// the model is resolved to find its owning namespace, so a token cannot
+// reach another tenant's model just by knowing its UUID.
+func (s *Server) authorizeModelIDWrite(r *http.Request, modelID uuid.UUID) (owner string, err error) {
+	if s.tenants == nil {
+		return "", nil
+	}
+	m, err := s.reg.GetModel(modelID)
+	if err != nil {
+		return "", err
+	}
+	return s.authorizeModelWrite(r, m.Name)
+}
+
+// authorizeInstanceWrite resolves an instance to the namespace owning
+// its model and enforces ownership for a mutation.
+func (s *Server) authorizeInstanceWrite(r *http.Request, instanceID uuid.UUID) (owner string, err error) {
+	if s.tenants == nil {
+		return "", nil
+	}
+	in, err := s.reg.GetInstance(instanceID)
+	if err != nil {
+		return "", err
+	}
+	return s.authorizeModelIDWrite(r, in.ModelID)
+}
+
+// reserveModelQuota validates ownership of a registration's `team/model`
+// name and charges the slot to the model's OWNING namespace — not the
+// caller's — so ownership and usage accounting never diverge when an
+// instance admin registers on a tenant's behalf. Bare (unprefixed) names
+// live in the default namespace, so only default-namespace callers may
+// create them. The returned release undoes the reservation when the
+// registration fails downstream.
 func (s *Server) reserveModelQuota(r *http.Request, modelName string) (func(), error) {
 	if s.tenants == nil {
 		return noRelease, nil
 	}
-	id, ok := s.tenants.ResolveRequest(r)
-	if !ok {
-		return nil, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
-	}
-	if ns, _ := tenant.Split(modelName); ns != tenant.DefaultNamespace && ns != id.Namespace && id.Namespace != tenant.DefaultNamespace {
-		return nil, fmt.Errorf("%w: model %q is in namespace %q, caller is %q",
-			tenant.ErrForbidden, modelName, ns, id.Namespace)
-	}
-	if err := s.tenants.ReserveModel(r.Context(), id.Namespace); err != nil {
+	ns, err := s.authorizeModelWrite(r, modelName)
+	if err != nil {
 		return nil, err
 	}
-	owner := id.Namespace
-	return func() { s.tenants.ReleaseModel(context.Background(), owner) }, nil
+	if err := s.tenants.ReserveModel(r.Context(), ns); err != nil {
+		return nil, err
+	}
+	return func() { s.tenants.ReleaseModel(context.Background(), ns) }, nil
 }
 
-// reserveBlobQuota charges an upload's blob bytes against the caller's
-// namespace before the blob-first write begins, so concurrent uploads
-// cannot jointly overshoot the quota; release returns the bytes when the
-// upload fails.
-func (s *Server) reserveBlobQuota(r *http.Request, n int64) (func(), error) {
+// releaseModelQuota returns a retired model's slot to its owning
+// namespace. Called exactly once per active→deprecated transition.
+func (s *Server) releaseModelQuota(ctx context.Context, owner string) {
+	if s.tenants == nil || owner == "" {
+		return
+	}
+	s.tenants.ReleaseModel(ctx, owner)
+}
+
+// reserveBlobQuota charges n blob bytes against the namespace owning the
+// written-to model before the blob-first write begins, so concurrent
+// uploads cannot jointly overshoot the quota; release returns the bytes
+// when the write fails. owner is the namespace the ownership check
+// returned ("" with auth off).
+func (s *Server) reserveBlobQuota(ctx context.Context, owner string, n int64) (func(), error) {
 	if s.tenants == nil {
 		return noRelease, nil
 	}
-	id, ok := s.tenants.ResolveRequest(r)
-	if !ok {
-		return nil, fmt.Errorf("%w: no identity", tenant.ErrForbidden)
-	}
-	if err := s.tenants.ReserveBlob(r.Context(), id.Namespace, n); err != nil {
+	if err := s.tenants.ReserveBlob(ctx, owner, n); err != nil {
 		return nil, err
 	}
-	owner := id.Namespace
 	return func() { s.tenants.ReleaseBlob(context.Background(), owner, n) }, nil
 }

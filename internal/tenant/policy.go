@@ -38,7 +38,7 @@ func (m *Manager) Authorize(r *http.Request) httpmw.Decision {
 			RetryAfter: secs,
 		}
 	}
-	need, mutation := classify(r.Method, r.URL.Path)
+	need, mutation := Classify(r.Method, r.URL.Path)
 	if ts.id.Role < need {
 		m.cForbidden.Inc()
 		m.recordDenied(r, ts.id)
@@ -77,9 +77,13 @@ func (m *Manager) ResolveRequest(r *http.Request) (Identity, bool) {
 	return m.Resolve(BearerSecret(r))
 }
 
-// classify maps a route onto the least role that may call it and whether
+// Classify maps a route onto the least role that may call it and whether
 // it mutates state (mutations get the verified actor stamped into the
-// request context for the audit trail).
+// request context for the audit trail). Exported so each daemon's tests
+// can assert every route it registers against this table — a new route
+// that nobody classified explicitly lands in the publisher mutation
+// class, the safe default: it can only be *downgraded* to reader by an
+// explicit case here.
 //
 // Role matrix:
 //
@@ -88,11 +92,11 @@ func (m *Manager) ResolveRequest(r *http.Request) (Identity, bool) {
 //	           upload, promote, deps, metrics, health ingest, audit/trace
 //	           ingest
 //	operator   rules (commit/select) and /v1/tenants administration
-func classify(method, path string) (need Role, mutation bool) {
+func Classify(method, path string) (need Role, mutation bool) {
 	if method == http.MethodGet || method == http.MethodHead {
 		// Token listings expose credential metadata; managing tenants —
 		// even reading them — is operator work.
-		if strings.HasPrefix(path, "/v1/tenants") {
+		if isTenantAdminPath(path) {
 			return RoleOperator, false
 		}
 		return RoleReader, false
@@ -101,16 +105,39 @@ func classify(method, path string) (need Role, mutation bool) {
 	case strings.HasPrefix(path, "/v1/predict/"),
 		path == "/v1/search",
 		path == "/v1/health/fleet",
-		strings.HasSuffix(path, "/drift"),
-		strings.HasSuffix(path, "/skew"):
+		isInstanceAnalysisPath(path):
 		// POST-shaped queries: they compute, they don't mutate.
 		return RoleReader, false
-	case strings.HasPrefix(path, "/v1/tenants"),
+	case isTenantAdminPath(path),
 		path == "/v1/rules",
 		strings.HasPrefix(path, "/v1/rules/"):
 		return RoleOperator, true
 	}
 	return RolePublisher, true
+}
+
+// isTenantAdminPath matches /v1/tenants and its subtree — and nothing
+// else: a sibling route like /v1/tenantsfoo must not inherit the
+// operator class.
+func isTenantAdminPath(path string) bool {
+	return path == "/v1/tenants" || strings.HasPrefix(path, "/v1/tenants/")
+}
+
+// isInstanceAnalysisPath matches exactly /v1/instances/{id}/drift and
+// /v1/instances/{id}/skew. The full shape is required — a future route
+// that merely *ends* in "/drift" must not silently drop to the reader
+// class.
+func isInstanceAnalysisPath(path string) bool {
+	rest, ok := strings.CutPrefix(path, "/v1/instances/")
+	if !ok {
+		return false
+	}
+	i := strings.IndexByte(rest, '/')
+	if i <= 0 {
+		return false
+	}
+	tail := rest[i+1:]
+	return tail == "drift" || tail == "skew"
 }
 
 // recordDenied emits the authz-denial audit event: who was refused what.
