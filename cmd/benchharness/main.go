@@ -9,7 +9,8 @@
 //
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
-// serving, onlinedrift, auditchurn, relquery, multitenant, tiered.
+// serving, onlinedrift, auditchurn, relquery, multitenant, sloburn,
+// tiered.
 //
 // Perf trajectory: experiments that measure performance also emit
 // machine-readable metrics (internal/benchfmt).
@@ -227,6 +228,19 @@ func main() {
 			}
 			if res.QuietOKRatio() != 1 {
 				return "", nil, fmt.Errorf("multitenant: quiet tenant lost requests to the noisy tenant (ok ratio %.2f)", res.QuietOKRatio())
+			}
+			return res.Format(), res.BenchMetrics(), nil
+		}},
+		{"sloburn", "E23 (extension) — per-tenant SLO engine: burn-rate detection, rule wiring, isolation", func() (string, []benchfmt.Metric, error) {
+			res, err := experiments.Sloburn(2000)
+			if err != nil {
+				return "", nil, err
+			}
+			if res.QuietBreached || res.QuietBudget < 1 {
+				return "", nil, fmt.Errorf("sloburn: quiet tenant's budget damaged by the victim's outage (budget %.3f breached=%v)", res.QuietBudget, res.QuietBreached)
+			}
+			if extra := res.REDExtraAllocs(); extra > 0.5 {
+				return "", nil, fmt.Errorf("sloburn: auth+RED added %.1f allocs/op on the predict path (want 0)", extra)
 			}
 			return res.Format(), res.BenchMetrics(), nil
 		}},

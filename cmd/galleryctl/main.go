@@ -26,7 +26,8 @@
 //	drift     -instance UUID -metric N
 //	health    [-project P [-metric N]] | [-model UUID] [-json] [-watch [-every D]]
 //	stats
-//	metrics
+//	metrics   [-prom]
+//	slo       create|list|delete|status ... (see `slo -h`)
 //	traces    [-limit N | -id TRACE_ID] [-json]
 //	audit     [-entity UUID | -model UUID] [-action A] [-actor A] [-trace ID]
 //	          [-since D] [-until D] [-where f:op:v]... [-limit N] [-asc] [-json]
@@ -99,7 +100,9 @@ func main() {
 	case "stats":
 		err = dump(c.Stats())
 	case "metrics":
-		err = cmdMetrics(c)
+		err = cmdMetrics(c, rest)
+	case "slo":
+		err = cmdSLO(c, rest)
 	case "traces":
 		err = cmdTraces(c, rest)
 	case "audit":
@@ -381,8 +384,20 @@ func printModelHealth(list []api.ModelHealth) {
 
 // cmdMetrics dumps the server's full metric registry snapshot — the same
 // JSON served at /v1/debug/metrics, for when the stats summary is not
-// enough.
-func cmdMetrics(c *client.Client) error {
+// enough. With -prom it prints the Prometheus text exposition instead,
+// exactly as a scraper would see it.
+func cmdMetrics(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	prom := fs.Bool("prom", false, "print Prometheus text exposition (0.0.4) instead of JSON")
+	fs.Parse(args)
+	if *prom {
+		payload, err := c.DebugMetricsProm()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(payload)
+		return nil
+	}
 	raw, err := c.DebugMetrics()
 	if err != nil {
 		return err
@@ -393,6 +408,94 @@ func cmdMetrics(c *client.Client) error {
 		return nil
 	}
 	return dump(v, nil)
+}
+
+// cmdSLO manages burn-rate objectives on the daemon's SLO evaluator.
+func cmdSLO(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: galleryctl slo create|list|delete|status [args]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "create":
+		fs := flag.NewFlagSet("slo create", flag.ExitOnError)
+		ns := fs.String("namespace", "default", "tenant namespace the objective covers")
+		model := fs.String("model", "", "scope to one served model (empty: whole namespace)")
+		kind := fs.String("kind", "availability", "objective kind: availability | latency")
+		target := fs.Float64("target", 0.999, "success-ratio target, e.g. 0.999")
+		threshold := fs.Float64("threshold-ms", 0, "latency kind: threshold in milliseconds")
+		fs.Parse(rest)
+		return dump(c.CreateSLO(api.CreateSLORequest{
+			Namespace: *ns, ModelID: *model, Kind: *kind,
+			Target: *target, LatencyThresholdMS: *threshold,
+		}))
+	case "list":
+		objs, err := c.ListSLOs()
+		if err != nil {
+			return err
+		}
+		return dump(objs, nil)
+	case "delete":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: galleryctl slo delete ID")
+		}
+		return c.DeleteSLO(rest[0])
+	case "status":
+		fs := flag.NewFlagSet("slo status", flag.ExitOnError)
+		jsonOut := fs.Bool("json", false, "print raw JSON instead of the table")
+		watch := fs.Bool("watch", false, "repaint every -every until interrupted")
+		every := fs.Duration("every", 5*time.Second, "poll period for -watch")
+		fs.Parse(rest)
+		show := func() error {
+			sts, err := c.SLOStatus()
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return dump(sts, nil)
+			}
+			printSLOStatus(sts)
+			return nil
+		}
+		if !*watch {
+			return show()
+		}
+		for {
+			fmt.Printf("--- %s ---\n", time.Now().Format(time.RFC3339))
+			if err := show(); err != nil {
+				return err
+			}
+			time.Sleep(*every)
+		}
+	default:
+		return fmt.Errorf("unknown slo subcommand %q (want create|list|delete|status)", sub)
+	}
+}
+
+func printSLOStatus(sts []api.SLOStatus) {
+	if len(sts) == 0 {
+		fmt.Println("no SLO objectives configured")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tSCOPE\tKIND\tTARGET\tBURN_FAST\tBURN_SLOW\tBUDGET\tSTATE")
+	for _, st := range sts {
+		scope := st.SLO.Namespace
+		if st.SLO.ModelID != "" {
+			scope += "/" + st.SLO.ModelID
+		}
+		state := "ok"
+		switch {
+		case st.NoData:
+			state = "no-data"
+		case st.Breached:
+			state = "BREACHED(" + st.Severity + ")"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.4f\t%.2f\t%.2f\t%.3f\t%s\n",
+			st.SLO.ID, scope, st.SLO.Kind, st.SLO.Target,
+			st.BurnFast, st.BurnSlow, st.BudgetRemaining, state)
+	}
+	w.Flush()
 }
 
 // cmdPredict asks a serving gateway for a forecast. By default it targets

@@ -13,6 +13,10 @@
 // With -auth and no existing tokens, a bootstrap operator token for the
 // "default" namespace is minted and its secret printed once at startup.
 //
+// An SLO evaluator ticks every -slo-interval, judging declared burn-rate
+// objectives (POST /v1/slo, `galleryctl slo`) against the per-tenant RED
+// metrics; metrics are scrapable at GET /v1/debug/metrics/prom.
+//
 // On SIGINT/SIGTERM the server drains, dumps the full metric registry
 // snapshot (the same JSON served at /v1/debug/metrics) to stderr, and
 // exits cleanly.
@@ -35,12 +39,15 @@ import (
 	"gallery/internal/core"
 	"gallery/internal/health"
 	"gallery/internal/obs"
+	"gallery/internal/obs/httpmw"
 	obslog "gallery/internal/obs/log"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/server"
+	"gallery/internal/slo"
 	"gallery/internal/tenant"
+	"gallery/internal/uuid"
 	"gallery/internal/wal"
 )
 
@@ -62,6 +69,8 @@ func main() {
 		healthRefWins = flag.Int("health-ref-windows", 3, "observation windows that form a model's reference distribution")
 		healthKeep    = flag.Int("health-keep-windows", 48, "persisted health windows kept per model")
 		healthMetric  = flag.String("health-metric", "mape", "production error metric for the monitor's drift/skew checks")
+
+		sloEvery = flag.Duration("slo-interval", 15*time.Second, "SLO burn-rate evaluation period (negative disables the evaluator)")
 
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
@@ -180,6 +189,40 @@ func main() {
 	if *accessLog {
 		opts.AccessLog = os.Stderr
 	}
+
+	// The SLO evaluator reads the per-tenant RED vectors the HTTP
+	// middleware records (NewRED is get-or-create, so these are the same
+	// series the server increments), persists objectives over the shared
+	// WAL, and feeds breach transitions back into the rule engine.
+	red := httpmw.NewRED(obs.Default)
+	sloSvc, err := slo.Open(meta, slo.VecSource{
+		Requests: red.Requests, Errors: red.Errors, Latency: red.Latency,
+	}, slo.Config{
+		Tick:   *sloEvery,
+		Obs:    obs.Default,
+		Audit:  reg.Audit(),
+		Events: engine,
+		Instances: func(modelID string) (uuid.UUID, bool) {
+			id, err := uuid.Parse(modelID)
+			if err != nil {
+				return uuid.UUID{}, false
+			}
+			v, err := reg.ProductionVersion(id)
+			if err != nil || v.InstanceID.IsNil() {
+				return uuid.UUID{}, false
+			}
+			return v.InstanceID, true
+		},
+	})
+	if err != nil {
+		log.Fatalf("galleryd: open slo store: %v", err)
+	}
+	if *sloEvery > 0 {
+		sloSvc.Start()
+		defer sloSvc.Stop()
+	}
+	opts.SLO = sloSvc
+
 	srv := server.NewWith(reg, repo, engine, opts)
 	defer srv.Close()
 

@@ -14,6 +14,10 @@
 //
 //	curl -s localhost:8441/v1/predict/<model-id> \
 //	    -d '{"history":[10,12,11,13,12,14]}'
+//
+// Per-tenant and per-model RED metrics are recorded on every request and
+// exposed for scraping in Prometheus text format at
+// GET /v1/debug/metrics/prom (JSON snapshot at /v1/debug/metrics).
 package main
 
 import (

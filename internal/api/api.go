@@ -477,3 +477,47 @@ type MintTokenResponse struct {
 type TenantTokensResponse struct {
 	Tokens []TenantToken `json:"tokens"`
 }
+
+// SLO mirrors slo.Objective on the wire. Latency thresholds travel in
+// milliseconds (the unit operators think in); internally they are
+// seconds to match the latency histograms.
+type SLO struct {
+	ID                 string    `json:"id"`
+	Namespace          string    `json:"namespace"`
+	ModelID            string    `json:"model_id,omitempty"`
+	Kind               string    `json:"kind"` // availability | latency
+	Target             float64   `json:"target"`
+	LatencyThresholdMS float64   `json:"latency_threshold_ms,omitempty"`
+	Created            time.Time `json:"created"`
+}
+
+// CreateSLORequest is the body of POST /v1/slo.
+type CreateSLORequest struct {
+	Namespace          string  `json:"namespace"`
+	ModelID            string  `json:"model_id,omitempty"`
+	Kind               string  `json:"kind"`
+	Target             float64 `json:"target"`
+	LatencyThresholdMS float64 `json:"latency_threshold_ms,omitempty"`
+}
+
+// SLOList is GET /v1/slo.
+type SLOList struct {
+	SLOs []SLO `json:"slos"`
+}
+
+// SLOStatus is one objective's current evaluation in GET /v1/slo/status.
+type SLOStatus struct {
+	SLO             SLO       `json:"slo"`
+	Breached        bool      `json:"breached"`
+	Severity        string    `json:"severity,omitempty"` // fast | slow
+	BurnFast        float64   `json:"burn_fast"`
+	BurnSlow        float64   `json:"burn_slow"`
+	BudgetRemaining float64   `json:"budget_remaining"`
+	NoData          bool      `json:"no_data,omitempty"`
+	LastChange      time.Time `json:"last_change,omitempty"`
+}
+
+// SLOStatusList is GET /v1/slo/status.
+type SLOStatusList struct {
+	Statuses []SLOStatus `json:"statuses"`
+}

@@ -35,6 +35,7 @@ const (
 	EntityInstance  = "instance"
 	EntityRule      = "rule"
 	EntityNamespace = "namespace"
+	EntitySLO       = "slo"
 )
 
 // Actions recorded by the built-in emission hooks. The set is open:
@@ -54,6 +55,10 @@ const (
 	ActionServeSwap         = "serve.swap"
 	ActionBlobServeFailed   = "blob.serve_failed"
 	ActionAuthDenied        = "auth.denied"
+	ActionSLOCreate         = "slo.create"
+	ActionSLODelete         = "slo.delete"
+	ActionSLOBurn           = "slo.burn"
+	ActionSLORecovered      = "slo.recovered"
 )
 
 // Event is one audit record. EntityID names the most specific entity the

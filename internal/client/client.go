@@ -488,6 +488,42 @@ func (c *Client) DebugMetrics() (json.RawMessage, error) {
 	return raw, err
 }
 
+// DebugMetricsProm fetches the same registry in Prometheus text
+// exposition format 0.0.4 — the payload a scraper would see.
+func (c *Client) DebugMetricsProm() ([]byte, error) {
+	var raw []byte
+	err := c.do("GET", "/v1/debug/metrics/prom", nil, &raw)
+	return raw, err
+}
+
+// CreateSLO registers a burn-rate objective with the daemon's SLO
+// evaluator. Latency thresholds are expressed in milliseconds on the
+// wire.
+func (c *Client) CreateSLO(req api.CreateSLORequest) (api.SLO, error) {
+	var out api.SLO
+	err := c.do("POST", "/v1/slo", req, &out)
+	return out, err
+}
+
+// ListSLOs returns every configured objective.
+func (c *Client) ListSLOs() ([]api.SLO, error) {
+	var out api.SLOList
+	err := c.do("GET", "/v1/slo", nil, &out)
+	return out.SLOs, err
+}
+
+// DeleteSLO removes an objective and its published gauges.
+func (c *Client) DeleteSLO(id string) error {
+	return c.do("DELETE", "/v1/slo/"+url.PathEscape(id), nil, nil)
+}
+
+// SLOStatus returns the live burn-rate evaluation for every objective.
+func (c *Client) SLOStatus() ([]api.SLOStatus, error) {
+	var out api.SLOStatusList
+	err := c.do("GET", "/v1/slo/status", nil, &out)
+	return out.Statuses, err
+}
+
 // DebugTraces lists the newest sampled traces held in the server's ring
 // buffer as raw JSON ({"stats": ..., "traces": [...]}). limit <= 0 uses
 // the server default.

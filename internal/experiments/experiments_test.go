@@ -439,3 +439,31 @@ func TestRelQueryPlannerPaths(t *testing.T) {
 		t.Error("no bench metrics emitted")
 	}
 }
+
+func TestSloburnDetectionAndIsolation(t *testing.T) {
+	res, err := Sloburn(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectTicks <= 0 || res.DetectTicks > 15 {
+		t.Fatalf("detected in %d ticks, want a prompt fast-window trip", res.DetectTicks)
+	}
+	if res.BreachSeverity != "fast" {
+		t.Fatalf("severity = %q, want fast (sharp outage must trip the fast pair first)", res.BreachSeverity)
+	}
+	if res.RuleFired == 0 {
+		t.Fatal("model burn event never fired the page rule")
+	}
+	if res.QuietBreached || res.QuietBudget != 1 {
+		t.Fatalf("quiet tenant damaged: budget %.3f breached=%v", res.QuietBudget, res.QuietBreached)
+	}
+	if res.RecoveryTicks <= 0 {
+		t.Fatal("breach never cleared after the fault was removed")
+	}
+	if extra := res.REDExtraAllocs(); extra > 0.5 {
+		t.Fatalf("auth+RED cost %.1f allocs/op on the predict path, want 0", extra)
+	}
+	if !strings.Contains(res.Format(), "breached after") {
+		t.Error("Format() missing detection verdict")
+	}
+}

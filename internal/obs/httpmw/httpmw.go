@@ -19,6 +19,10 @@ import (
 // TraceparentHeader is the propagation header name (W3C Trace Context).
 const TraceparentHeader = "traceparent"
 
+// PromContentType is the Content-Type both daemons send on
+// /v1/debug/metrics/prom (text exposition format 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Options configures the middleware.
 type Options struct {
 	// Obs receives per-route metrics; required.
@@ -31,6 +35,35 @@ type Options struct {
 	// AllLatency, when set, additionally observes every request's latency
 	// (the server's route-agnostic SLO histogram).
 	AllLatency *obs.Histogram
+	// TenantOf, when set, resolves a request to its tenant namespace
+	// (empty for unauthenticated callers) and turns on per-tenant RED
+	// recording: requests, errors (5xx), and latency keyed by namespace
+	// in bounded-cardinality vectors. Must be allocation-free — it runs
+	// on every request.
+	TenantOf func(*http.Request) string
+}
+
+// DefaultNamespace labels requests that carry no tenant identity (auth
+// off, or the exempt health endpoint) in the per-tenant RED vectors.
+const DefaultNamespace = "default"
+
+// RED bundles the per-tenant request/error/duration vectors recorded by
+// Wrap. NewRED is idempotent per registry, so the SLO evaluator fetches
+// the same handles Wrap writes to.
+type RED struct {
+	Requests *obs.CounterVec // tenant_http_requests_total{namespace}
+	Errors   *obs.CounterVec // tenant_http_errors_total{namespace}
+	Latency  *obs.HistogramVec
+}
+
+// NewRED returns the per-tenant RED vectors registered in reg.
+func NewRED(reg *obs.Registry) RED {
+	ns := []string{"namespace"}
+	return RED{
+		Requests: reg.CounterVec("tenant_http_requests_total", ns, obs.DefaultVecCardinality),
+		Errors:   reg.CounterVec("tenant_http_errors_total", ns, obs.DefaultVecCardinality),
+		Latency:  reg.HistogramVec("tenant_http_request_seconds", ns, obs.LatencyBuckets, obs.DefaultVecCardinality),
+	}
 }
 
 // StatusRecorder captures the status code and body size a handler writes,
@@ -89,6 +122,10 @@ func StatusClass(code int) string {
 // start/end, and one structured access-log line. The route label is the
 // ServeMux pattern that matched (bounded cardinality), never the raw URL.
 func Wrap(next http.Handler, o Options) http.Handler {
+	var red RED
+	if o.TenantOf != nil {
+		red = NewRED(o.Obs) // handles fetched once; per-request path allocates nothing
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, span := o.Tracer.StartRoot(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get(TraceparentHeader))
@@ -117,6 +154,18 @@ func Wrap(next http.Handler, o Options) http.Handler {
 		}
 		o.Obs.Histogram(obs.Name("http_response_bytes", "route", route), obs.SizeBuckets).
 			Observe(float64(rec.Bytes))
+
+		if o.TenantOf != nil {
+			ns := o.TenantOf(r)
+			if ns == "" {
+				ns = DefaultNamespace
+			}
+			red.Requests.With(ns).Inc()
+			if rec.Status >= 500 {
+				red.Errors.With(ns).Inc()
+			}
+			red.Latency.With(ns).Observe(elapsed.Seconds())
+		}
 
 		if span != nil {
 			span.Rename(route)

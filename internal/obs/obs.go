@@ -108,12 +108,25 @@ type Exemplar struct {
 	TraceID string  `json:"trace_id"`
 }
 
-// NewHistogram builds a histogram over the given sorted upper bounds.
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be strictly ascending. Unsorted or duplicate bounds panic at
+// registration time: silently reordering them (the old behaviour) hid
+// caller bugs behind buckets that no longer meant what the call site
+// said, and a duplicated bound made one bucket permanently empty.
 func NewHistogram(bounds []float64) *Histogram {
+	validateBounds(bounds)
 	cp := make([]float64, len(bounds))
 	copy(cp, bounds)
-	sort.Float64s(cp)
 	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// validateBounds panics unless bounds are strictly ascending.
+func validateBounds(bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
 }
 
 // Observe records one value.
@@ -205,6 +218,30 @@ func (h *Histogram) Exemplars() []Exemplar {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// CountAtOrBelow returns how many observations landed in buckets whose
+// upper bound is <= bound. This is the histogram-resolution answer to
+// "how many requests finished within the threshold": thresholds between
+// bucket bounds are effectively rounded down to the nearest bound, so
+// SLO latency targets should sit on a bucket boundary for exactness.
+func (h *Histogram) CountAtOrBelow(bound float64) int64 {
+	var cum int64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
+// Bounds returns the histogram's bucket upper bounds (shared slice; do
+// not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCount returns the raw count of bucket i, where i == len(Bounds())
+// addresses the overflow bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }

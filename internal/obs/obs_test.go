@@ -78,12 +78,15 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	}
 }
 
-func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
-	h := NewHistogram([]float64{10, 1, 5})
-	h.Observe(3)
-	if got := h.counts[1].Load(); got != 1 {
-		t.Fatalf("Observe(3) with bounds {10,1,5}: bucket le=5 count = %d, want 1", got)
-	}
+func TestHistogramUnsortedBoundsPanic(t *testing.T) {
+	// Bounds are part of the caller's contract; silently reordering them
+	// (the old behaviour) hid bugs, so registration now panics instead.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with unsorted bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{10, 1, 5})
 }
 
 // TestCounterConcurrent exercises concurrent increments; run with -race.

@@ -13,11 +13,13 @@ import (
 // them once and reuse them. Get-or-create calls are cheap enough for
 // dynamically labelled metrics (per-table, per-route).
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() float64
-	hists      map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	gaugeFuncs  map[string]func() float64
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 }
 
 // Default is the process-wide registry. Components default to it so a
@@ -28,10 +30,12 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() float64),
-		hists:      make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		gaugeFuncs:  make(map[string]func() float64),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -87,6 +91,15 @@ func (r *Registry) RemoveGaugeFunc(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.gaugeFuncs, name)
+}
+
+// RemoveGauge drops a plain gauge — used when the entity it describes is
+// deleted (e.g. an SLO objective), so snapshots and scrapes stop showing
+// a stale series.
+func (r *Registry) RemoveGauge(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, name)
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -158,29 +171,41 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[name] = fn()
 	}
 	for name, h := range r.hists {
-		hs := HistSnapshot{
-			Count:     h.Count(),
-			Sum:       h.Sum(),
-			Max:       h.Max(),
-			P50:       h.Quantile(0.50),
-			P95:       h.Quantile(0.95),
-			P99:       h.Quantile(0.99),
-			Exemplars: h.Exemplars(),
-		}
-		for i := range h.counts {
-			n := h.counts[i].Load()
-			if n == 0 {
-				continue
-			}
-			le := "+Inf"
-			if i < len(h.bounds) {
-				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
-			}
-			hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: n})
-		}
-		snap.Histograms[name] = hs
+		snap.Histograms[name] = histSnapshot(h)
+	}
+	for _, v := range r.counterVecs {
+		v.snapshot(snap.Counters)
+	}
+	for _, v := range r.histVecs {
+		v.each(func(name string, h *Histogram) {
+			snap.Histograms[name] = histSnapshot(h)
+		})
 	}
 	return snap
+}
+
+func histSnapshot(h *Histogram) HistSnapshot {
+	hs := HistSnapshot{
+		Count:     h.Count(),
+		Sum:       h.Sum(),
+		Max:       h.Max(),
+		P50:       h.Quantile(0.50),
+		P95:       h.Quantile(0.95),
+		P99:       h.Quantile(0.99),
+		Exemplars: h.Exemplars(),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: n})
+	}
+	return hs
 }
 
 // SumCounters returns the sum of every counter whose name starts with
@@ -193,6 +218,11 @@ func (r *Registry) SumCounters(prefix string) int64 {
 	for name, c := range r.counters {
 		if strings.HasPrefix(name, prefix) {
 			total += c.Value()
+		}
+	}
+	for base, v := range r.counterVecs {
+		if strings.HasPrefix(base, prefix) {
+			total += v.sum()
 		}
 	}
 	return total

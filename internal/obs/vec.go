@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Labeled metric vectors with bounded cardinality.
+//
+// The registry's plain get-or-create calls key metrics by their fully
+// rendered name (base{k="v"}), which costs one string build per lookup —
+// fine for per-table or per-route labels resolved once, wrong for
+// per-request dimensions like the tenant namespace. A vector instead
+// keys its children by the raw label values (a comparable struct, so the
+// steady-state lookup allocates nothing) and enforces an explicit
+// cardinality cap: once Limit distinct label sets exist, further label
+// values collapse into a single overflow series labeled OverflowLabel.
+// That bound is the defense the multi-tenant plane needs — a misbehaving
+// caller cycling through label values cannot grow the registry without
+// limit, it can only inflate one overflow bucket.
+
+// DefaultVecCardinality is the per-vector child cap used by the built-in
+// RED vectors: generous for realistic tenant and model counts, small
+// enough that a label-explosion attack stays bounded.
+const DefaultVecCardinality = 1024
+
+// OverflowLabel is the synthetic label value that absorbs every series
+// beyond a vector's cardinality cap.
+const OverflowLabel = "_overflow"
+
+// vecKey is a child's label values. Vectors carry one or two labels; the
+// second value is "" for one-label vectors. A struct key keeps child
+// lookup allocation-free on hot paths.
+type vecKey struct{ a, b string }
+
+// vecCore is the label bookkeeping shared by CounterVec and HistogramVec.
+type vecCore struct {
+	base   string
+	labels []string // 1 or 2 label key names
+	limit  int
+}
+
+func newVecCore(base string, labels []string, limit int) vecCore {
+	if len(labels) < 1 || len(labels) > 2 {
+		panic("obs: vector must carry one or two labels, got " + base)
+	}
+	if limit <= 0 {
+		limit = DefaultVecCardinality
+	}
+	return vecCore{base: base, labels: labels, limit: limit}
+}
+
+// name renders one child's full metric name.
+func (c *vecCore) name(k vecKey) string {
+	if len(c.labels) == 1 {
+		return Name(c.base, c.labels[0], k.a)
+	}
+	return Name(c.base, c.labels[0], k.a, c.labels[1], k.b)
+}
+
+func (c *vecCore) overflowKey() vecKey {
+	k := vecKey{a: OverflowLabel}
+	if len(c.labels) == 2 {
+		k.b = OverflowLabel
+	}
+	return k
+}
+
+// CounterVec is a family of Counters sharing one base name, keyed by one
+// or two label values, with a hard cardinality cap. With/With2 are safe
+// for concurrent use and allocation-free once a child exists.
+type CounterVec struct {
+	vecCore
+	mu       sync.RWMutex
+	children map[vecKey]*Counter
+	overflow *Counter // lazily created when the cap is first hit
+}
+
+// NewCounterVec builds an unregistered counter vector. Most callers want
+// Registry.CounterVec, which also exposes the children in snapshots.
+func NewCounterVec(base string, labels []string, limit int) *CounterVec {
+	return &CounterVec{
+		vecCore:  newVecCore(base, labels, limit),
+		children: make(map[vecKey]*Counter),
+	}
+}
+
+// With returns the child for a one-label vector.
+func (v *CounterVec) With(a string) *Counter {
+	if len(v.labels) != 1 {
+		panic("obs: With on a " + v.base + " vector with " + v.labels[0] + "," + v.labels[1] + " labels")
+	}
+	return v.child(vecKey{a: a})
+}
+
+// With2 returns the child for a two-label vector.
+func (v *CounterVec) With2(a, b string) *Counter {
+	if len(v.labels) != 2 {
+		panic("obs: With2 on one-label vector " + v.base)
+	}
+	return v.child(vecKey{a: a, b: b})
+}
+
+func (v *CounterVec) child(k vecKey) *Counter {
+	v.mu.RLock()
+	c, ok := v.children[k]
+	of := v.overflow
+	n := len(v.children)
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	if n >= v.limit && of != nil {
+		return of
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[k]; ok {
+		return c
+	}
+	if len(v.children) >= v.limit {
+		if v.overflow == nil {
+			v.overflow = &Counter{}
+		}
+		return v.overflow
+	}
+	c = &Counter{}
+	v.children[k] = c
+	return c
+}
+
+// Get reads the current value of a one-label child without creating it.
+func (v *CounterVec) Get(a string) int64 { return v.get(vecKey{a: a}) }
+
+// Get2 reads the current value of a two-label child without creating it.
+func (v *CounterVec) Get2(a, b string) int64 { return v.get(vecKey{a: a, b: b}) }
+
+func (v *CounterVec) get(k vecKey) int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.children[k]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Len reports how many distinct child series exist (the overflow series
+// excluded).
+func (v *CounterVec) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}
+
+// sum totals every child plus the overflow series.
+func (v *CounterVec) sum() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var total int64
+	for _, c := range v.children {
+		total += c.Value()
+	}
+	if v.overflow != nil {
+		total += v.overflow.Value()
+	}
+	return total
+}
+
+// snapshot folds every child (and a non-zero overflow series) into out,
+// keyed by rendered name.
+func (v *CounterVec) snapshot(out map[string]int64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for k, c := range v.children {
+		out[v.name(k)] = c.Value()
+	}
+	if v.overflow != nil {
+		out[v.name(v.overflowKey())] = v.overflow.Value()
+	}
+}
+
+// HistogramVec is a family of Histograms sharing one base name and bucket
+// bounds, keyed by one or two label values, with a hard cardinality cap.
+type HistogramVec struct {
+	vecCore
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[vecKey]*Histogram
+	overflow *Histogram
+}
+
+// NewHistogramVec builds an unregistered histogram vector over the given
+// strictly ascending bucket bounds (same contract as NewHistogram).
+func NewHistogramVec(base string, labels []string, bounds []float64, limit int) *HistogramVec {
+	validateBounds(bounds)
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &HistogramVec{
+		vecCore:  newVecCore(base, labels, limit),
+		bounds:   cp,
+		children: make(map[vecKey]*Histogram),
+	}
+}
+
+// With returns the child for a one-label vector.
+func (v *HistogramVec) With(a string) *Histogram {
+	if len(v.labels) != 1 {
+		panic("obs: With on a " + v.base + " vector with " + v.labels[0] + "," + v.labels[1] + " labels")
+	}
+	return v.child(vecKey{a: a})
+}
+
+// With2 returns the child for a two-label vector.
+func (v *HistogramVec) With2(a, b string) *Histogram {
+	if len(v.labels) != 2 {
+		panic("obs: With2 on one-label vector " + v.base)
+	}
+	return v.child(vecKey{a: a, b: b})
+}
+
+func (v *HistogramVec) child(k vecKey) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[k]
+	of := v.overflow
+	n := len(v.children)
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if n >= v.limit && of != nil {
+		return of
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[k]; ok {
+		return h
+	}
+	if len(v.children) >= v.limit {
+		if v.overflow == nil {
+			v.overflow = NewHistogram(v.bounds)
+		}
+		return v.overflow
+	}
+	h = NewHistogram(v.bounds)
+	v.children[k] = h
+	return h
+}
+
+// Peek returns a one-label child if it exists, else nil — readers (the
+// SLO evaluator) must not create series for targets that saw no traffic.
+func (v *HistogramVec) Peek(a string) *Histogram { return v.peek(vecKey{a: a}) }
+
+// Peek2 is Peek for two-label vectors.
+func (v *HistogramVec) Peek2(a, b string) *Histogram { return v.peek(vecKey{a: a, b: b}) }
+
+func (v *HistogramVec) peek(k vecKey) *Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.children[k]
+}
+
+// Len reports how many distinct child series exist (overflow excluded).
+func (v *HistogramVec) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}
+
+// each visits every child (overflow included when present) in sorted
+// rendered-name order — the exposition writer's iteration.
+func (v *HistogramVec) each(visit func(name string, h *Histogram)) {
+	v.mu.RLock()
+	type kv struct {
+		name string
+		h    *Histogram
+	}
+	all := make([]kv, 0, len(v.children)+1)
+	for k, h := range v.children {
+		all = append(all, kv{v.name(k), h})
+	}
+	if v.overflow != nil {
+		all = append(all, kv{v.name(v.overflowKey()), v.overflow})
+	}
+	v.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, e := range all {
+		visit(e.name, e.h)
+	}
+}
+
+// CounterVec returns the counter vector registered under base, creating
+// it if new. An existing vector keeps its original labels and limit.
+func (r *Registry) CounterVec(base string, labels []string, limit int) *CounterVec {
+	r.mu.RLock()
+	v, ok := r.counterVecs[base]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[base]; ok {
+		return v
+	}
+	v = NewCounterVec(base, labels, limit)
+	r.counterVecs[base] = v
+	return v
+}
+
+// HistogramVec returns the histogram vector registered under base,
+// creating it with the given bounds if new.
+func (r *Registry) HistogramVec(base string, labels []string, bounds []float64, limit int) *HistogramVec {
+	r.mu.RLock()
+	v, ok := r.histVecs[base]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.histVecs[base]; ok {
+		return v
+	}
+	v = NewHistogramVec(base, labels, bounds, limit)
+	r.histVecs[base] = v
+	return v
+}

@@ -276,6 +276,34 @@ func (e *Engine) HealthEvent(ctx context.Context, instanceID uuid.UUID, event st
 	}
 }
 
+// SLOEvent dispatches an SLO breach transition ("burn" / "recovered")
+// from the SLO evaluator. fields carries the objective's identity and
+// burn rates; rules address them as slo.event, slo.model, slo.burn_fast,
+// and so on. Only model-scoped objectives reach here — the evaluator
+// resolves the model to its production instance first, because action
+// rules execute against an instance environment.
+func (e *Engine) SLOEvent(ctx context.Context, instanceID uuid.UUID, event string, fields map[string]any) {
+	e.mu.Lock()
+	e.stats.EventsTriggered++
+	e.mu.Unlock()
+	e.mx.events.Inc()
+	payload := make(map[string]any, len(fields)+1)
+	for k, v := range fields {
+		payload[k] = v
+	}
+	payload["event"] = event
+	extra := map[string]any{"slo": payload}
+	for _, rule := range e.repo.Active() {
+		if rule.Kind != KindAction || !e.inScope(rule) {
+			continue
+		}
+		if !watches(rule, "slo") {
+			continue
+		}
+		e.dispatch(ctx, rule, instanceID, extra)
+	}
+}
+
 // MetadataUpdated notifies the engine that an instance's metadata changed;
 // action rules watching any of the named fields re-evaluate.
 func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {

@@ -32,7 +32,28 @@ type Handler struct {
 	logs      *obslog.Ring
 	auth      httpmw.Authorizer
 	pprof     bool
+	red       PredictRED
+	nsOf      func(*http.Request) string
 	h         http.Handler
+}
+
+// PredictRED bundles the per-tenant, per-model RED vectors the predict
+// path records — the signal the SLO evaluator consumes for model-scoped
+// objectives. NewPredictRED is idempotent per registry.
+type PredictRED struct {
+	Requests *obs.CounterVec // serve_predict_requests_total{namespace,model}
+	Errors   *obs.CounterVec // serve_predict_errors_total{namespace,model}
+	Latency  *obs.HistogramVec
+}
+
+// NewPredictRED returns the predict RED vectors registered in reg.
+func NewPredictRED(reg *obs.Registry) PredictRED {
+	lbl := []string{"namespace", "model"}
+	return PredictRED{
+		Requests: reg.CounterVec("serve_predict_requests_total", lbl, obs.DefaultVecCardinality),
+		Errors:   reg.CounterVec("serve_predict_errors_total", lbl, obs.DefaultVecCardinality),
+		Latency:  reg.HistogramVec("serve_predict_seconds", lbl, obs.LatencyBuckets, obs.DefaultVecCardinality),
+	}
 }
 
 // HandlerOption customizes a Handler.
@@ -81,9 +102,18 @@ func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	if h.tracer == nil {
 		h.tracer = gw.tracer
 	}
+	h.red = NewPredictRED(h.obs)
+	// tenant.Manager resolves a request's namespace allocation-free; with
+	// auth off (or an authorizer that can't), every request lands in the
+	// default namespace so namespace-scoped SLOs still work.
+	h.nsOf = func(*http.Request) string { return "" }
+	if a, ok := h.auth.(interface{ NamespaceOf(*http.Request) string }); ok {
+		h.nsOf = a.NamespaceOf
+	}
 	h.mux.HandleFunc("POST /v1/predict/{model}", h.handlePredict)
 	h.mux.HandleFunc("GET /v1/serving", h.handleServing)
 	h.mux.HandleFunc("GET /v1/debug/metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /v1/debug/metrics/prom", h.handleMetricsProm)
 	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
 	if h.tracer != nil {
 		h.mux.HandleFunc("GET /v1/debug/traces", h.handleListTraces)
@@ -99,6 +129,7 @@ func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 		Obs:       h.obs,
 		AccessLog: h.accessLog,
 		Tracer:    h.tracer,
+		TenantOf:  h.nsOf,
 	})
 	if h.auth != nil {
 		// Outside Wrap for the same route-pattern-attribution reason as
@@ -114,21 +145,41 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	modelID := r.PathValue("model")
+	status := h.servePredict(w, r, modelID)
+
+	// Per-tenant/per-model RED over bounded vectors: two counter lookups
+	// and one histogram observe against pre-registered handles, no
+	// allocation — gated at 0 extra allocs/op by E23 alongside E22's auth
+	// gate.
+	ns := h.nsOf(r)
+	if ns == "" {
+		ns = httpmw.DefaultNamespace
+	}
+	h.red.Requests.With2(ns, modelID).Inc()
+	if status >= 500 {
+		h.red.Errors.With2(ns, modelID).Inc()
+	}
+	h.red.Latency.With2(ns, modelID).Observe(time.Since(start).Seconds())
+}
+
+// servePredict writes the response and reports the status it chose.
+func (h *Handler) servePredict(w http.ResponseWriter, r *http.Request, modelID string) int {
 	var req api.PredictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
 		writeServeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
+		return http.StatusBadRequest
 	}
 	if len(req.History) == 0 {
 		writeServeErr(w, http.StatusBadRequest, errors.New("history must not be empty"))
-		return
+		return http.StatusBadRequest
 	}
 	if req.HistoryEvents != nil && len(req.HistoryEvents) != len(req.History) {
 		writeServeErr(w, http.StatusBadRequest,
 			fmt.Errorf("history_events length %d does not match history length %d",
 				len(req.HistoryEvents), len(req.History)))
-		return
+		return http.StatusBadRequest
 	}
 	resp, err := h.gw.PredictCtx(r.Context(), modelID, forecast.Context{
 		History:       req.History,
@@ -138,10 +189,12 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		HistoryEvents: req.HistoryEvents,
 	})
 	if err != nil {
-		writeServeErr(w, predictStatus(err), err)
-		return
+		status := predictStatus(err)
+		writeServeErr(w, status, err)
+		return status
 	}
 	writePredictResponse(w, resp)
+	return http.StatusOK
 }
 
 func (h *Handler) handleServing(w http.ResponseWriter, r *http.Request) {
@@ -149,7 +202,15 @@ func (h *Handler) handleServing(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// no-store: dashboards poll this; a cached snapshot is a wrong one.
+	w.Header().Set("Cache-Control", "no-store")
 	writeServeJSON(w, http.StatusOK, h.obs.Snapshot())
+}
+
+func (h *Handler) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", httpmw.PromContentType)
+	w.Header().Set("Cache-Control", "no-store")
+	_ = h.obs.WriteProm(w)
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,7 @@ import (
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
+	"gallery/internal/slo"
 	"gallery/internal/tenant"
 	"gallery/internal/uuid"
 )
@@ -72,6 +73,11 @@ type Options struct {
 	// are mounted, and the audit actor becomes the verified token identity
 	// (X-Gallery-Actor is ignored).
 	Tenants *tenant.Manager
+	// SLO, when non-nil, mounts the objective endpoints (POST/GET
+	// /v1/slo, DELETE /v1/slo/{id}, GET /v1/slo/status). The service's
+	// evaluation loop is the daemon's to start; the server only fronts
+	// declaration and status.
+	SLO *slo.Service
 }
 
 // Server wires HTTP routes to the registry and rule engine.
@@ -81,6 +87,7 @@ type Server struct {
 	engine  *rules.Engine
 	health  *health.Monitor
 	tenants *tenant.Manager // nil when auth is off
+	slo     *slo.Service    // nil when SLOs are off
 	mux     *http.ServeMux
 	h       http.Handler // mux behind the shared observability middleware
 
@@ -145,6 +152,7 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 		engine:  engine,
 		health:  opts.Health,
 		tenants: opts.Tenants,
+		slo:     opts.SLO,
 		mux:     http.NewServeMux(),
 
 		obs:            opts.Obs,
@@ -181,11 +189,19 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 	// that); the actor value still flows inward through the derived
 	// context. With tenants enabled, authentication replaces the
 	// self-declared actor header entirely.
+	// Per-tenant RED vectors: with auth on the namespace comes from the
+	// verified token; with auth off everything lands in "default", so
+	// namespace-scoped SLOs still evaluate.
+	tenantOf := func(*http.Request) string { return "" }
+	if s.tenants != nil {
+		tenantOf = s.tenants.NamespaceOf
+	}
 	wrapped := httpmw.Wrap(s.mux, httpmw.Options{
 		Obs:        s.obs,
 		AccessLog:  s.accessLog,
 		Tracer:     s.tracer,
 		AllLatency: s.allLatency,
+		TenantOf:   tenantOf,
 	})
 	if s.tenants != nil {
 		s.h = httpmw.WithAuth(wrapped, s.tenants)
@@ -315,6 +331,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/audit/entity/{id}", s.handleEntityTimeline)
 	s.handle("GET /v1/debug/logs", s.handleDebugLogs)
 	s.handle("GET /v1/debug/metrics", s.handleDebugMetrics)
+	s.handle("GET /v1/debug/metrics/prom", s.handleDebugMetricsProm)
 	s.handle("GET /v1/debug/traces", s.handleListTraces)
 	s.handle("GET /v1/debug/traces/{id}", s.handleGetTrace)
 	s.handle("POST /v1/debug/traces", s.handleIngestTraces)
@@ -326,6 +343,9 @@ func (s *Server) routes() {
 
 	if s.tenants != nil {
 		s.tenantRoutes()
+	}
+	if s.slo != nil {
+		s.sloRoutes()
 	}
 }
 
@@ -356,9 +376,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &maxBytes):
 		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound), errors.Is(err, tenant.ErrNotFound):
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound),
+		errors.Is(err, tenant.ErrNotFound), errors.Is(err, slo.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule), errors.Is(err, tenant.ErrBadSpec):
+	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule),
+		errors.Is(err, tenant.ErrBadSpec), errors.Is(err, slo.ErrBadSpec):
 		status = http.StatusBadRequest
 	case errors.Is(err, core.ErrCycle), errors.Is(err, relstore.ErrDuplicate), errors.Is(err, tenant.ErrExists):
 		status = http.StatusConflict
@@ -1061,7 +1083,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // counters and latency histograms, DAL/relstore/blobstore counters, rule
 // engine activity, and dispatch-queue health.
 func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	// no-store: dashboards poll this; a cached snapshot is a wrong one.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.obs.Snapshot())
+}
+
+// handleDebugMetricsProm renders the same registry in Prometheus text
+// exposition format 0.0.4, for standard scrapers.
+func (s *Server) handleDebugMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", httpmw.PromContentType)
+	w.Header().Set("Cache-Control", "no-store")
+	_ = s.obs.WriteProm(w)
 }
 
 // --- rules ---

@@ -265,6 +265,7 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"GET /v1/audit/entity/{id}":           reader,
 		"GET /v1/debug/logs":                  reader,
 		"GET /v1/debug/metrics":               reader,
+		"GET /v1/debug/metrics/prom":          reader,
 		"GET /v1/debug/traces":                reader,
 		"GET /v1/debug/traces/{id}":           reader,
 		"POST /v1/debug/traces":               pub,
@@ -278,6 +279,10 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"POST /v1/tenants/{ns}/tokens":        op,
 		"GET /v1/tenants/{ns}/tokens":         opRead,
 		"DELETE /v1/tenants/{ns}/tokens/{id}": op,
+		"POST /v1/slo":                        op,
+		"GET /v1/slo":                         reader,
+		"DELETE /v1/slo/{id}":                 op,
+		"GET /v1/slo/status":                  reader,
 	}
 
 	wildcard := regexp.MustCompile(`\{[^}]+\}`)

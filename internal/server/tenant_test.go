@@ -15,6 +15,7 @@ import (
 	"gallery/internal/obs"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
+	"gallery/internal/slo"
 	"gallery/internal/tenant"
 	"gallery/internal/uuid"
 )
@@ -52,7 +53,11 @@ func newAuthHarness(t *testing.T) *authHarness {
 	}
 	repo := rules.NewRepo(clk)
 	eng := rules.NewEngine(reg, repo, clk)
-	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm})
+	sloSvc, err := slo.Open(relstore.NewMemory(), slo.VecSource{}, slo.Config{Clock: clk, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm, SLO: sloSvc})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	t.Cleanup(srv.Close)

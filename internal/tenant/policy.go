@@ -70,6 +70,18 @@ func BearerSecret(r *http.Request) string {
 	return ""
 }
 
+// NamespaceOf resolves a request to its tenant namespace, or "" for
+// unauthenticated callers. It is the httpmw TenantOf hook behind the
+// per-tenant RED vectors: one sync.Map load, no allocation, safe on the
+// predict hot path.
+func (m *Manager) NamespaceOf(r *http.Request) string {
+	ts, ok := m.resolveState(BearerSecret(r))
+	if !ok {
+		return ""
+	}
+	return ts.id.Namespace
+}
+
 // ResolveRequest authenticates a request's bearer token for handlers
 // that need the caller's identity (quota charging, tenant admin scope).
 // It re-reads the secret cache, so it costs one sync.Map load.
@@ -109,11 +121,20 @@ func Classify(method, path string) (need Role, mutation bool) {
 		// POST-shaped queries: they compute, they don't mutate.
 		return RoleReader, false
 	case isTenantAdminPath(path),
+		isSLOAdminPath(path),
 		path == "/v1/rules",
 		strings.HasPrefix(path, "/v1/rules/"):
 		return RoleOperator, true
 	}
 	return RolePublisher, true
+}
+
+// isSLOAdminPath matches /v1/slo and its subtree — and nothing else.
+// Declaring or deleting objectives changes what pages people, so writes
+// are operator work; GET /v1/slo[/status] stays in the reader class via
+// the method check above.
+func isSLOAdminPath(path string) bool {
+	return path == "/v1/slo" || strings.HasPrefix(path, "/v1/slo/")
 }
 
 // isTenantAdminPath matches /v1/tenants and its subtree — and nothing
