@@ -47,7 +47,6 @@ import (
 	"gallery/internal/server"
 	"gallery/internal/slo"
 	"gallery/internal/tenant"
-	"gallery/internal/uuid"
 	"gallery/internal/wal"
 )
 
@@ -192,27 +191,20 @@ func main() {
 
 	// The SLO evaluator reads the per-tenant RED vectors the HTTP
 	// middleware records (NewRED is get-or-create, so these are the same
-	// series the server increments), persists objectives over the shared
-	// WAL, and feeds breach transitions back into the rule engine.
+	// series the server increments) and persists objectives over the
+	// shared WAL. Only namespace-scoped objectives are evaluable here:
+	// the predict RED vectors that back model scope live in the serving
+	// gateway's process, so model-scoped creates are rejected with
+	// slo.ErrNoSource rather than accepted and left at no-data (the
+	// gateway-embedded evaluator — see experiments.Sloburn — is where
+	// model burns fire the rules engine).
 	red := httpmw.NewRED(obs.Default)
 	sloSvc, err := slo.Open(meta, slo.VecSource{
 		Requests: red.Requests, Errors: red.Errors, Latency: red.Latency,
 	}, slo.Config{
-		Tick:   *sloEvery,
-		Obs:    obs.Default,
-		Audit:  reg.Audit(),
-		Events: engine,
-		Instances: func(modelID string) (uuid.UUID, bool) {
-			id, err := uuid.Parse(modelID)
-			if err != nil {
-				return uuid.UUID{}, false
-			}
-			v, err := reg.ProductionVersion(id)
-			if err != nil || v.InstanceID.IsNil() {
-				return uuid.UUID{}, false
-			}
-			return v.InstanceID, true
-		},
+		Tick:  *sloEvery,
+		Obs:   obs.Default,
+		Audit: reg.Audit(),
 	})
 	if err != nil {
 		log.Fatalf("galleryd: open slo store: %v", err)

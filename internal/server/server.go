@@ -380,7 +380,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		errors.Is(err, tenant.ErrNotFound), errors.Is(err, slo.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule),
-		errors.Is(err, tenant.ErrBadSpec), errors.Is(err, slo.ErrBadSpec):
+		errors.Is(err, tenant.ErrBadSpec), errors.Is(err, slo.ErrBadSpec),
+		errors.Is(err, slo.ErrNoSource):
 		status = http.StatusBadRequest
 	case errors.Is(err, core.ErrCycle), errors.Is(err, relstore.ErrDuplicate), errors.Is(err, tenant.ErrExists):
 		status = http.StatusConflict

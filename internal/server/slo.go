@@ -8,7 +8,11 @@ import (
 )
 
 // SLO objective endpoints. Writes are operator-class under auth (see
-// tenant.Classify); reads are reader-class like every other GET.
+// tenant.Classify) and additionally namespace-scoped: an objective is
+// tenant state, so operators may only declare or delete objectives in
+// their own namespace (default-namespace operators, as instance admins,
+// may target any) — the same split the /v1/tenants handlers enforce.
+// Reads are reader-class like every other GET.
 
 func (s *Server) sloRoutes() {
 	s.handle("POST /v1/slo", s.handleCreateSLO)
@@ -17,9 +21,25 @@ func (s *Server) sloRoutes() {
 	s.handle("GET /v1/slo/status", s.handleSLOStatus)
 }
 
+// authorizeSLOWrite enforces namespace ownership of an SLO mutation.
+// No-op with auth off, like the model/instance ownership helpers.
+func (s *Server) authorizeSLOWrite(r *http.Request, targetNS string) error {
+	if s.tenants == nil {
+		return nil
+	}
+	_, err := s.admin(r, targetNS)
+	return err
+}
+
 func (s *Server) handleCreateSLO(w http.ResponseWriter, r *http.Request) {
 	var req api.CreateSLORequest
 	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	// An empty namespace passes the scope check but is rejected by
+	// Create's validation below, so nothing unowned slips through.
+	if err := s.authorizeSLOWrite(r, req.Namespace); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -47,7 +67,22 @@ func (s *Server) handleListSLOs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSLO(w http.ResponseWriter, r *http.Request) {
-	if err := s.slo.Delete(r.Context(), r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if s.tenants != nil {
+		// Resolve the objective to find whose namespace it belongs to
+		// before authorizing: deleting another tenant's objective would
+		// silence their alerts.
+		o, err := s.slo.Get(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := s.authorizeSLOWrite(r, o.Namespace); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	if err := s.slo.Delete(r.Context(), id); err != nil {
 		writeErr(w, err)
 		return
 	}

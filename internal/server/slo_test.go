@@ -15,6 +15,7 @@ import (
 	"gallery/internal/obs/httpmw"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
+	"gallery/internal/serve"
 	"gallery/internal/slo"
 	"gallery/internal/tenant"
 	"gallery/internal/uuid"
@@ -35,7 +36,16 @@ func newSLOHarness(t *testing.T) *harness {
 	o := obs.NewRegistry()
 	repo := rules.NewRepo(clk)
 	eng := rules.NewEngine(reg, repo, clk)
-	sloSvc, err := slo.Open(relstore.NewMemory(), slo.VecSource{}, slo.Config{
+	// Wire both metric scopes, like a single-process embedding: the
+	// namespace RED vectors the server middleware records plus the
+	// gateway's predict vectors, so model-scoped objectives are
+	// creatable here too.
+	red := httpmw.NewRED(o)
+	pred := serve.NewPredictRED(o)
+	sloSvc, err := slo.Open(relstore.NewMemory(), slo.VecSource{
+		Requests: red.Requests, Errors: red.Errors, Latency: red.Latency,
+		ModelRequests: pred.Requests, ModelErrors: pred.Errors, ModelLatency: pred.Latency,
+	}, slo.Config{
 		Clock: clk, UUIDs: uuid.NewSeeded(52), Obs: o, Audit: reg.Audit(),
 	})
 	if err != nil {
@@ -195,4 +205,68 @@ func TestSLOAuth(t *testing.T) {
 	if err := h.admin.DeleteSLO(o.ID); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSLONamespaceScoping proves objective mutations are namespace-owned
+// like every other tenant mutation: an operator declares and deletes
+// objectives only in its own namespace, while default-namespace
+// operators (instance admins) act across tenants. Without this, an
+// operator of one tenant could plant an instantly-breaching objective on
+// another tenant's traffic — or delete its objectives to silence alerts.
+func TestSLONamespaceScoping(t *testing.T) {
+	h := newAuthHarness(t)
+	if _, err := h.admin.CreateNamespace(api.CreateNamespaceRequest{Name: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.admin.CreateNamespace(api.CreateNamespaceRequest{Name: "fraud"}); err != nil {
+		t.Fatal(err)
+	}
+	mapsOp := h.client(h.mint(t, "maps", "lead", tenant.RoleOperator))
+
+	// Own namespace: allowed.
+	own, err := mapsOp.CreateSLO(api.CreateSLORequest{
+		Namespace: "maps", Kind: "availability", Target: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Another tenant's namespace: forbidden.
+	_, err = mapsOp.CreateSLO(api.CreateSLORequest{
+		Namespace: "fraud", Kind: "availability", Target: 0.5,
+	})
+	wantStatus(t, err, http.StatusForbidden)
+
+	// Deleting another tenant's objective: forbidden, and the objective
+	// survives.
+	theirs, err := h.admin.CreateSLO(api.CreateSLORequest{
+		Namespace: "fraud", Kind: "availability", Target: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, mapsOp.DeleteSLO(theirs.ID), http.StatusForbidden)
+	objs, err := h.admin.ListSLOs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("objectives after forbidden delete = %d, want 2", len(objs))
+	}
+
+	// Own objective deletes fine; the instance admin can cross tenants.
+	if err := mapsOp.DeleteSLO(own.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.admin.DeleteSLO(theirs.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The auth harness wires only the namespace-scope RED vectors (like
+	// the registry daemon), so a model-scoped objective is rejected at
+	// create rather than accepted into a permanent no-data state.
+	_, err = h.admin.CreateSLO(api.CreateSLORequest{
+		Namespace: "maps", ModelID: "demand", Kind: "availability", Target: 0.99,
+	})
+	wantStatus(t, err, http.StatusBadRequest)
 }

@@ -13,6 +13,7 @@ import (
 	"gallery/internal/clock"
 	"gallery/internal/core"
 	"gallery/internal/obs"
+	"gallery/internal/obs/httpmw"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/slo"
@@ -53,7 +54,12 @@ func newAuthHarness(t *testing.T) *authHarness {
 	}
 	repo := rules.NewRepo(clk)
 	eng := rules.NewEngine(reg, repo, clk)
-	sloSvc, err := slo.Open(relstore.NewMemory(), slo.VecSource{}, slo.Config{Clock: clk, Obs: o})
+	// The evaluator needs a namespace-scope source or Create rejects
+	// every objective; use the same RED vectors the middleware records.
+	red := httpmw.NewRED(o)
+	sloSvc, err := slo.Open(relstore.NewMemory(), slo.VecSource{
+		Requests: red.Requests, Errors: red.Errors, Latency: red.Latency,
+	}, slo.Config{Clock: clk, Obs: o, UUIDs: uuid.NewSeeded(34)})
 	if err != nil {
 		t.Fatal(err)
 	}

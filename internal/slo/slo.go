@@ -69,6 +69,11 @@ const (
 var (
 	ErrNotFound = errors.New("slo: objective not found")
 	ErrBadSpec  = errors.New("slo: bad objective spec")
+	// ErrNoSource rejects an objective whose scope this process has no
+	// metric source for — e.g. a model-scoped objective on the registry
+	// daemon, whose predict RED vectors live in the serving gateway.
+	// Accepting it would only ever report no-data.
+	ErrNoSource = errors.New("slo: no metric source for objective scope")
 )
 
 // Objective is one declared service target. Namespace is always set;
@@ -191,7 +196,10 @@ type Config struct {
 	SlowLong  time.Duration
 	SlowBurn  float64
 	// MinSamples is the fewest requests a window must hold before its
-	// burn rate counts; below it the window reads 0. Default 10.
+	// burn rate counts; below it the window reads 0. When history is
+	// shorter than a window, the floor scales up by the truncation
+	// factor, so a brief blip right after startup cannot pass for a
+	// long-window burn. Default 10.
 	MinSamples int64
 
 	Clock     clock.Clock
@@ -275,12 +283,14 @@ func (st *state) push(tick int64, s sample) {
 }
 
 // window returns the good/bad delta over the last k ticks (current tick
-// included). With less history than k, the whole recorded history is the
-// window — partial windows evaluate rather than blocking alerts until an
-// hour of uptime accumulates.
-func (st *state) window(tick int64, k int) sample {
+// included) and the span actually covered. With less history than k, the
+// whole recorded history is the window — partial windows evaluate rather
+// than blocking alerts until an hour of uptime accumulates — and the
+// caller compensates for the truncation (see the MinSamples scaling in
+// Evaluate).
+func (st *state) window(tick int64, k int) (sample, int) {
 	if st.n == 0 {
-		return sample{}
+		return sample{}, 0
 	}
 	if k > st.n-1 {
 		k = st.n - 1
@@ -296,7 +306,7 @@ func (st *state) window(tick int64, k int) sample {
 	if b < 0 {
 		b = 0
 	}
-	return sample{good: g, bad: b}
+	return sample{good: g, bad: b}, k
 }
 
 // Status is one objective's current evaluation, served at /v1/slo/status.
@@ -390,6 +400,18 @@ func (s *Service) Create(ctx context.Context, o Objective) (Objective, error) {
 	if o.Target <= 0 || o.Target >= 1 {
 		return Objective{}, fmt.Errorf("%w: target must be in (0, 1), got %v", ErrBadSpec, o.Target)
 	}
+	// Probe the source: ok=false means this process cannot answer for the
+	// objective's shape at all (VecSource reports capability, not data),
+	// so it would sit at no-data forever. Reject with a pointed error
+	// instead. Objectives restored from the store still surface no-data,
+	// covering deployments whose wiring changed under persisted state.
+	if _, _, ok := s.src.Counts(o); !ok {
+		scope := "namespace"
+		if o.ModelID != "" {
+			scope = "model"
+		}
+		return Objective{}, fmt.Errorf("%w: %s-scoped objectives are not evaluable in this process (predict metrics are recorded by the serving gateway)", ErrNoSource, scope)
+	}
 	o.ID = s.cfg.UUIDs.New().String()
 	o.Created = s.cfg.Clock.Now()
 	if err := s.store.InsertCtx(ctx, Table, objectiveToRow(o)); err != nil {
@@ -402,13 +424,13 @@ func (s *Service) Create(ctx context.Context, o Objective) (Objective, error) {
 	return o, nil
 }
 
-// Delete removes an objective and its gauges.
+// Delete removes an objective and its gauges. The persistent delete
+// happens first: if it fails, the objective stays monitored and
+// consistent, rather than dropping out of memory only to resurrect from
+// the store on the next restart.
 func (s *Service) Delete(ctx context.Context, id string) error {
 	s.mu.Lock()
 	st, ok := s.objs[id]
-	if ok {
-		delete(s.objs, id)
-	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -416,6 +438,9 @@ func (s *Service) Delete(ctx context.Context, id string) error {
 	if err := s.store.DeleteCtx(ctx, Table, id); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	delete(s.objs, id)
+	s.mu.Unlock()
 	for _, g := range []string{"slo_burn_rate_fast", "slo_burn_rate_slow", "slo_breached", "slo_error_budget_remaining"} {
 		s.cfg.Obs.RemoveGauge(obs.Name(g, "slo", id))
 	}
@@ -512,9 +537,20 @@ func (s *Service) Evaluate(ctx context.Context) {
 
 		budget := 1 - st.obj.Target // error budget as a failure ratio
 		burn := func(k int) float64 {
-			w := st.window(tick, k)
+			w, span := st.window(tick, k)
+			if span == 0 {
+				return 0
+			}
 			total := w.good + w.bad
-			if total < s.cfg.MinSamples {
+			// MinSamples is calibrated to the full window. When history
+			// clamps the window to a shorter span, scale the floor by the
+			// truncation factor: without this, both windows of a pair
+			// collapse to the same short span just after startup and one
+			// MinSamples-sized blip counterfeits a confirmed long burn.
+			// A genuine outage at real traffic volume still clears the
+			// scaled floor within a few ticks.
+			need := s.cfg.MinSamples * int64(k) / int64(span)
+			if total < need {
 				return 0
 			}
 			return (float64(w.bad) / float64(total)) / budget
@@ -524,7 +560,7 @@ func (s *Service) Evaluate(ctx context.Context) {
 		st.burnFast = min2(fastS, fastL) // pair fires on its minimum
 		st.burnSlow = min2(slowS, slowL)
 
-		wl := st.window(tick, s.slowLong)
+		wl, _ := st.window(tick, s.slowLong)
 		if total := wl.good + wl.bad; total > 0 {
 			st.budget = clamp01(1 - (float64(wl.bad)/float64(total))/budget)
 		} else {

@@ -226,16 +226,101 @@ func TestLatencyObjectiveOverVectors(t *testing.T) {
 	}
 }
 
-func TestNoDataSource(t *testing.T) {
+// TestCreateRejectsUnanswerableScope pins the capability probe: an
+// objective whose scope this process has no metric source for is
+// rejected at Create instead of sitting at no-data forever. This is
+// what the registry daemon does with model-scoped objectives — its
+// predict RED vectors live in the serving gateway.
+func TestCreateRejectsUnanswerableScope(t *testing.T) {
+	reg := obs.NewRegistry()
+	nsOnly := VecSource{
+		Requests: reg.CounterVec("tenant_http_requests_total", []string{"namespace"}, 8),
+		Errors:   reg.CounterVec("tenant_http_errors_total", []string{"namespace"}, 8),
+		Latency:  reg.HistogramVec("tenant_http_request_seconds", []string{"namespace"}, []float64{0.1, 1}, 8),
+	}
 	cfg, _ := testConfig(nil)
-	s, err := Open(relstore.NewMemory(), VecSource{}, cfg) // all-nil vectors
+	s, err := Open(relstore.NewMemory(), nsOnly, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(context.Background(), Objective{
+		Namespace: "ads", ModelID: "ctr", Kind: KindAvailability, Target: 0.99,
+	}); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("model-scoped create over namespace-only source = %v, want ErrNoSource", err)
+	}
+	// Namespace scope is answerable and stays creatable.
+	mustCreate(t, s, Objective{Namespace: "ads", Kind: KindAvailability, Target: 0.99})
+
+	// Nothing is answerable over an empty source.
+	s2, err := Open(relstore.NewMemory(), VecSource{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Create(context.Background(), Objective{
+		Namespace: "ads", Kind: KindAvailability, Target: 0.99,
+	}); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("create over empty source = %v, want ErrNoSource", err)
+	}
+}
+
+// TestNoDataSource covers the restore path the Create probe cannot
+// gate: an objective persisted by a process that could answer it, then
+// reopened by one that cannot, reports no-data rather than healthy.
+func TestNoDataSource(t *testing.T) {
+	store := relstore.NewMemory()
+	src := &countSource{}
+	cfg, _ := testConfig(src)
+	s, err := Open(store, src, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mustCreate(t, s, Objective{Namespace: "ads", Kind: KindAvailability, Target: 0.99})
-	s.Evaluate(context.Background())
-	if st := s.Statuses()[0]; !st.NoData || st.Breached {
+
+	cfg2, _ := testConfig(nil)
+	s2, err := Open(store, VecSource{}, cfg2) // all-nil vectors
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Evaluate(context.Background())
+	if st := s2.Statuses()[0]; !st.NoData || st.Breached {
 		t.Fatalf("want no-data, got %+v", st)
+	}
+}
+
+// TestPartialWindowBlipDoesNotBreach pins the scaled MinSamples floor:
+// right after startup every window clamps to the recorded history, so
+// without scaling one MinSamples-sized blip satisfies both windows of a
+// pair at once and counterfeits a confirmed burn.
+func TestPartialWindowBlipDoesNotBreach(t *testing.T) {
+	src := &countSource{}
+	cfg, _ := testConfig(src)
+	cfg.MinSamples = 10
+	s, err := Open(relstore.NewMemory(), src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, Objective{Namespace: "ads", Kind: KindAvailability, Target: 0.99})
+	ctx := context.Background()
+
+	s.Evaluate(ctx) // tick 1: empty baseline
+	src.bad += 10   // exactly MinSamples failures, then silence
+	s.Evaluate(ctx)
+	for i := 0; i < 10; i++ {
+		s.Evaluate(ctx)
+		if st := s.Statuses()[0]; st.Breached {
+			t.Fatalf("startup blip breached at tick %d: %+v", i+3, st)
+		}
+	}
+
+	// A genuine outage at volume still clears the scaled floor within a
+	// few ticks — partial windows evaluate, they just demand the sample
+	// mass the full window was calibrated for.
+	for i := 0; i < 10; i++ {
+		src.bad += 100
+		s.Evaluate(ctx)
+	}
+	if st := s.Statuses()[0]; !st.Breached {
+		t.Fatalf("sustained outage never breached: %+v", st)
 	}
 }
 
