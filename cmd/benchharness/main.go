@@ -10,7 +10,7 @@
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
 // serving, onlinedrift, auditchurn, relquery, multitenant, sloburn,
-// tiered.
+// incidentcapture, tiered.
 //
 // Perf trajectory: experiments that measure performance also emit
 // machine-readable metrics (internal/benchfmt).
@@ -241,6 +241,25 @@ func main() {
 			}
 			if extra := res.REDExtraAllocs(); extra > 0.5 {
 				return "", nil, fmt.Errorf("sloburn: auth+RED added %.1f allocs/op on the predict path (want 0)", extra)
+			}
+			return res.Format(), res.BenchMetrics(), nil
+		}},
+		{"incidentcapture", "E24 (extension) — incident flight recorder: debounced capture, cross-process bundle, WAL durability", func() (string, []benchfmt.Metric, error) {
+			res, err := experiments.IncidentCapture(2000)
+			if err != nil {
+				return "", nil, err
+			}
+			if res.Captures != 1 {
+				return "", nil, fmt.Errorf("incidentcapture: %d bundles persisted for one scope across %d burn events (want exactly 1)", res.Captures, res.BurnEvents)
+			}
+			if res.BundlePartial {
+				return "", nil, fmt.Errorf("incidentcapture: bundle marked partial with a live gateway")
+			}
+			if !res.RestartOK {
+				return "", nil, fmt.Errorf("incidentcapture: bundle did not survive the store reopen")
+			}
+			if extra := res.RecorderExtraAllocs(); extra > 0.5 {
+				return "", nil, fmt.Errorf("incidentcapture: armed recorder added %.1f allocs/op on the predict path (want 0)", extra)
 			}
 			return res.Format(), res.BenchMetrics(), nil
 		}},

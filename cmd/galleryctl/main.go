@@ -28,6 +28,7 @@
 //	stats
 //	metrics   [-prom]
 //	slo       create|list|delete|status ... (see `slo -h`)
+//	incident  list|get|trigger ... (see `incident -h`)
 //	traces    [-limit N | -id TRACE_ID] [-json]
 //	audit     [-entity UUID | -model UUID] [-action A] [-actor A] [-trace ID]
 //	          [-since D] [-until D] [-where f:op:v]... [-limit N] [-asc] [-json]
@@ -103,6 +104,8 @@ func main() {
 		err = cmdMetrics(c, rest)
 	case "slo":
 		err = cmdSLO(c, rest)
+	case "incident":
+		err = cmdIncident(c, rest)
 	case "traces":
 		err = cmdTraces(c, rest)
 	case "audit":
@@ -470,6 +473,64 @@ func cmdSLO(c *client.Client, args []string) error {
 	default:
 		return fmt.Errorf("unknown slo subcommand %q (want create|list|delete|status)", sub)
 	}
+}
+
+// cmdIncident drives the flight recorder: list persisted bundles, fetch
+// one in full, or trigger a manual capture.
+func cmdIncident(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: galleryctl incident list|get|trigger [args]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "list":
+		fs := flag.NewFlagSet("incident list", flag.ExitOnError)
+		jsonOut := fs.Bool("json", false, "print raw JSON instead of the table")
+		fs.Parse(rest)
+		incs, err := c.ListIncidents()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return dump(incs, nil)
+		}
+		printIncidents(incs)
+		return nil
+	case "get":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: galleryctl incident get ID")
+		}
+		return dump(c.GetIncident(rest[0]))
+	case "trigger":
+		fs := flag.NewFlagSet("incident trigger", flag.ExitOnError)
+		ns := fs.String("namespace", "", "namespace the capture is attributed to")
+		model := fs.String("model", "", "model the capture is about (sets the debounce scope)")
+		reason := fs.String("reason", "", "free-form note recorded on the bundle")
+		fs.Parse(rest)
+		return dump(c.TriggerIncident(api.TriggerIncidentRequest{
+			Namespace: *ns, ModelID: *model, Reason: *reason,
+		}))
+	default:
+		return fmt.Errorf("unknown incident subcommand %q (want list|get|trigger)", sub)
+	}
+}
+
+func printIncidents(incs []api.Incident) {
+	if len(incs) == 0 {
+		fmt.Println("no incidents captured")
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tTRIGGER\tSCOPE\tCREATED\tSIZE\tPARTIAL\tREASON")
+	for _, in := range incs {
+		partial := ""
+		if in.Partial {
+			partial = "partial"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%s\t%s\n",
+			in.ID, in.Trigger, in.Scope, in.Created.Format(time.RFC3339), in.Size, partial, in.Reason)
+	}
+	tw.Flush()
 }
 
 func printSLOStatus(sts []api.SLOStatus) {

@@ -38,6 +38,7 @@ import (
 	"gallery/internal/blobstore"
 	"gallery/internal/core"
 	"gallery/internal/health"
+	"gallery/internal/incident"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	obslog "gallery/internal/obs/log"
@@ -70,6 +71,11 @@ func main() {
 		healthMetric  = flag.String("health-metric", "mape", "production error metric for the monitor's drift/skew checks")
 
 		sloEvery = flag.Duration("slo-interval", 15*time.Second, "SLO burn-rate evaluation period (negative disables the evaluator)")
+
+		incKeep     = flag.Int("incident-keep", 32, "incident bundles retained before the oldest are pruned (negative disables pruning)")
+		incDebounce = flag.Duration("incident-debounce", 5*time.Minute, "minimum interval between captures of the same scope (negative disables)")
+		incGateway  = flag.String("incident-gateway", "", "serving gateway base URL pulled into incident bundles via GET /v1/debug/bundle (empty: local snapshot only)")
+		incGwToken  = flag.String("incident-gateway-token", "", "bearer token for the incident gateway pull when the gateway runs -auth")
 
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
@@ -127,32 +133,58 @@ func main() {
 	// promotes the triggering instance, and every watching gateway hot-swaps
 	// to it on its next refresh.
 	engine.RegisterAction("deploy", rules.DeployAction(reg))
+
+	// Structured logs land in a bounded in-memory ring served at
+	// GET /v1/debug/logs, trace-correlated; -access-log additionally tees
+	// them to stderr as JSON lines. Built before the flight recorder so
+	// bundles can tail it.
+	logRing := obslog.NewRing(*logBuffer)
+
+	// The incident flight recorder: SLO burns, health degradations, the
+	// "capture" rule action, and POST /v1/incidents snapshot the process's
+	// observability state into durable bundles, debounced per scope. The
+	// health monitor and SLO evaluator are bound after construction — they
+	// want the recorder as a sink, the recorder wants their state in
+	// bundles.
+	recorder, err := incident.Open(reg.DAL(), incident.Config{
+		Tracer:       tracer,
+		Logs:         logRing,
+		Audit:        reg.Audit(),
+		Gateway:      *incGateway,
+		GatewayToken: *incGwToken,
+		Keep:         *incKeep,
+		Debounce:     *incDebounce,
+	})
+	if err != nil {
+		log.Fatalf("galleryd: open incident recorder: %v", err)
+	}
+	engine.RegisterAction("capture", incident.CaptureAction(recorder))
 	engine.Start(*workers)
 	defer engine.Stop()
 
 	// Continuous model health: gateways flush distribution sketches in,
 	// the monitor judges them on a ticker, and degradations feed the rule
-	// engine as health.* events.
+	// engine as health.* events (and the flight recorder on degradation).
 	monitor := health.New(reg, health.Config{
 		Metric:           *healthMetric,
 		ReferenceWindows: *healthRefWins,
 		KeepWindows:      *healthKeep,
 		Interval:         *healthEvery,
 		Events:           engine,
+		Transitions:      recorder,
 	})
 	if err := monitor.Recover(); err != nil {
 		log.Fatalf("galleryd: recover health windows: %v", err)
 	}
 	monitor.Start()
 	defer monitor.Stop()
+	recorder.BindHealth(monitor)
 
-	// Structured logs land in a bounded in-memory ring served at
-	// GET /v1/debug/logs, trace-correlated; -access-log additionally tees
-	// them to stderr as JSON lines.
 	opts := server.Options{
 		Tracer: tracer, Pprof: *pprofOn, Health: monitor,
-		Logs:     obslog.NewRing(*logBuffer),
-		LogLevel: obslog.ParseLevel(*logLevel),
+		Logs:      logRing,
+		LogLevel:  obslog.ParseLevel(*logLevel),
+		Incidents: recorder,
 	}
 	if *authOn {
 		// The control plane shares the metadata store, so namespaces,
@@ -205,6 +237,7 @@ func main() {
 		Tick:  *sloEvery,
 		Obs:   obs.Default,
 		Audit: reg.Audit(),
+		Burns: recorder,
 	})
 	if err != nil {
 		log.Fatalf("galleryd: open slo store: %v", err)
@@ -214,6 +247,7 @@ func main() {
 		defer sloSvc.Stop()
 	}
 	opts.SLO = sloSvc
+	recorder.BindSLO(sloSvc)
 
 	srv := server.NewWith(reg, repo, engine, opts)
 	defer srv.Close()

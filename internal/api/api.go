@@ -521,3 +521,74 @@ type SLOStatus struct {
 type SLOStatusList struct {
 	Statuses []SLOStatus `json:"statuses"`
 }
+
+// BuildInfo identifies the binary that produced a snapshot: its service
+// name, module version, Go toolchain, and process start time. The same
+// values back the gallery_build_info / process_start_time_seconds gauges.
+type BuildInfo struct {
+	Service   string    `json:"service"`
+	Version   string    `json:"version"`
+	GoVersion string    `json:"go_version"`
+	Start     time.Time `json:"start"`
+}
+
+// ProcessSnapshot is one daemon's observability state frozen at a point
+// in time: the body of GET /v1/debug/bundle and the per-process half of
+// an incident bundle. Metrics and traces ride as raw JSON so the snapshot
+// is exactly what the debug endpoints would have served.
+type ProcessSnapshot struct {
+	Service          string          `json:"service"`
+	Captured         time.Time       `json:"captured"`
+	Build            BuildInfo       `json:"build"`
+	Metrics          json.RawMessage `json:"metrics,omitempty"`      // /v1/debug/metrics JSON
+	MetricsProm      string          `json:"metrics_prom,omitempty"` // text exposition 0.0.4
+	Traces           json.RawMessage `json:"traces,omitempty"`       // {stats, traces}
+	Logs             []obslog.Entry  `json:"logs,omitempty"`
+	GoroutineProfile string          `json:"goroutine_profile,omitempty"` // pprof debug=1 text
+	HeapProfile      string          `json:"heap_profile,omitempty"`
+}
+
+// Incident is one flight-recorder capture's index row.
+type Incident struct {
+	ID        string    `json:"id"`
+	Trigger   string    `json:"trigger"` // manual | slo.burn | health.degraded | rule
+	Scope     string    `json:"scope"`   // debounce key: model ID, namespace, or "process"
+	Namespace string    `json:"namespace,omitempty"`
+	ModelID   string    `json:"model_id,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
+	Created   time.Time `json:"created"`
+	Size      int64     `json:"size,omitempty"` // persisted bundle bytes
+	Partial   bool      `json:"partial,omitempty"`
+}
+
+// IncidentList is GET /v1/incidents.
+type IncidentList struct {
+	Incidents []Incident `json:"incidents"`
+}
+
+// TriggerIncidentRequest is the body of POST /v1/incidents.
+type TriggerIncidentRequest struct {
+	Namespace string `json:"namespace,omitempty"`
+	ModelID   string `json:"model_id,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// IncidentBundle is the persisted capture: both daemons' process
+// snapshots plus the registry-side verdict state (health, SLO, audit
+// tail) implicated by the trigger.
+type IncidentBundle struct {
+	Incident     Incident         `json:"incident"`
+	Registry     ProcessSnapshot  `json:"registry"`
+	Gateway      *ProcessSnapshot `json:"gateway,omitempty"`
+	GatewayError string           `json:"gateway_error,omitempty"` // set when the pull failed (Partial)
+	Health       []ModelHealth    `json:"health,omitempty"`
+	SLO          []SLOStatus      `json:"slo,omitempty"`
+	Audit        []AuditEvent     `json:"audit,omitempty"`
+}
+
+// IncidentDetail is GET /v1/incidents/{id}.
+type IncidentDetail struct {
+	Incident Incident       `json:"incident"`
+	Bundle   IncidentBundle `json:"bundle"`
+}

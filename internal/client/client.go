@@ -524,6 +524,30 @@ func (c *Client) SLOStatus() ([]api.SLOStatus, error) {
 	return out.Statuses, err
 }
 
+// TriggerIncident asks the flight recorder for a manual capture.
+// A 429 means the scope's debounce window is still open — the evidence
+// was already captured moments ago.
+func (c *Client) TriggerIncident(req api.TriggerIncidentRequest) (api.Incident, error) {
+	var out api.Incident
+	err := c.do("POST", "/v1/incidents", req, &out)
+	return out, err
+}
+
+// ListIncidents returns persisted incident index rows, newest first
+// (namespace-scoped under auth).
+func (c *Client) ListIncidents() ([]api.Incident, error) {
+	var out api.IncidentList
+	err := c.do("GET", "/v1/incidents", nil, &out)
+	return out.Incidents, err
+}
+
+// GetIncident fetches one incident and its full diagnostic bundle.
+func (c *Client) GetIncident(id string) (api.IncidentDetail, error) {
+	var out api.IncidentDetail
+	err := c.do("GET", "/v1/incidents/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
 // DebugTraces lists the newest sampled traces held in the server's ring
 // buffer as raw JSON ({"stats": ..., "traces": [...]}). limit <= 0 uses
 // the server default.

@@ -467,3 +467,29 @@ func TestSloburnDetectionAndIsolation(t *testing.T) {
 		t.Error("Format() missing detection verdict")
 	}
 }
+
+func TestIncidentCaptureDebounceAndDurability(t *testing.T) {
+	res, err := IncidentCapture(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BurnEvents < 5 {
+		t.Fatalf("burn events = %d, want >= 5", res.BurnEvents)
+	}
+	if res.Captures != 1 || res.Suppressed != int64(res.BurnEvents-1) {
+		t.Fatalf("debounce: captures=%d suppressed=%d for %d events, want 1/%d",
+			res.Captures, res.Suppressed, res.BurnEvents, res.BurnEvents-1)
+	}
+	if res.BundlePartial {
+		t.Fatal("bundle marked partial with a live gateway")
+	}
+	if !res.RestartOK {
+		t.Fatal("bundle did not survive the store reopen")
+	}
+	if extra := res.RecorderExtraAllocs(); extra > 0.5 {
+		t.Fatalf("armed recorder cost %.1f allocs/op on the predict path, want 0", extra)
+	}
+	if !strings.Contains(res.Format(), "suppressed") {
+		t.Error("Format() missing debounce verdict")
+	}
+}

@@ -68,6 +68,14 @@ type EventSink interface {
 	HealthEvent(ctx context.Context, instanceID uuid.UUID, event string, fields map[string]float64)
 }
 
+// TransitionSink receives every status transition. Evaluate fires it
+// after releasing the monitor lock, so the sink may call back into List
+// — the incident flight recorder does exactly that while assembling a
+// bundle's health section.
+type TransitionSink interface {
+	HealthTransition(ctx context.Context, modelID uuid.UUID, from, to Status, reasons []string)
+}
+
 // Config tunes the monitor.
 type Config struct {
 	// Metric is the production error metric fed to CheckDrift/CheckSkew
@@ -102,6 +110,9 @@ type Config struct {
 	Obs *obs.Registry
 	// Events receives health.drift/health.skew events; may be nil.
 	Events EventSink
+	// Transitions receives every status change, outside the monitor
+	// lock; may be nil.
+	Transitions TransitionSink
 }
 
 func (c *Config) defaults() {
@@ -400,14 +411,32 @@ func (m *Monitor) Recover() error {
 // ticker.
 func (m *Monitor) Evaluate(ctx context.Context) {
 	m.mx.evaluations.Inc()
+	// Transitions are collected under the lock and delivered after it is
+	// released: a sink that snapshots health state calls List, which
+	// takes m.mu.
+	var fired []transitionNote
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, st := range m.models {
-		m.evaluateLocked(ctx, st)
+		if note := m.evaluateLocked(ctx, st); note != nil {
+			fired = append(fired, *note)
+		}
+	}
+	m.mu.Unlock()
+	if m.cfg.Transitions != nil {
+		for _, n := range fired {
+			m.cfg.Transitions.HealthTransition(ctx, n.modelID, n.from, n.to, n.reasons)
+		}
 	}
 }
 
-func (m *Monitor) evaluateLocked(ctx context.Context, st *modelState) {
+// transitionNote carries one status change out from under the lock.
+type transitionNote struct {
+	modelID  uuid.UUID
+	from, to Status
+	reasons  []string
+}
+
+func (m *Monitor) evaluateLocked(ctx context.Context, st *modelState) *transitionNote {
 	live := mergeAll(st.live)
 
 	psiOK := false
@@ -491,20 +520,25 @@ func (m *Monitor) evaluateLocked(ctx context.Context, st *modelState) {
 	st.status = status
 	st.reasons = reasons
 
-	if prev != status && m.reg != nil && m.reg.Audit() != nil {
-		_ = m.reg.Audit().Record(audit.WithActor(ctx, "health-monitor"), audit.Event{
-			Action:     audit.ActionHealthTransition,
-			EntityType: audit.EntityModel,
-			EntityID:   st.modelID.String(),
-			ModelID:    st.modelID.String(),
-			Before:     string(prev),
-			After:      string(status),
-			Detail:     strings.Join(reasons, "; "),
-		})
+	var note *transitionNote
+	if prev != status {
+		if m.reg != nil && m.reg.Audit() != nil {
+			_ = m.reg.Audit().Record(audit.WithActor(ctx, "health-monitor"), audit.Event{
+				Action:     audit.ActionHealthTransition,
+				EntityType: audit.EntityModel,
+				EntityID:   st.modelID.String(),
+				ModelID:    st.modelID.String(),
+				Before:     string(prev),
+				After:      string(status),
+				Detail:     strings.Join(reasons, "; "),
+			})
+		}
+		note = &transitionNote{modelID: st.modelID, from: prev, to: status, reasons: reasons}
 	}
 
 	m.publishGauges(st)
 	m.emitEvents(ctx, st)
+	return note
 }
 
 // publishGauges mirrors a model's verdict into the obs registry. Status

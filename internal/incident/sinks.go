@@ -1,0 +1,82 @@
+package incident
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gallery/internal/health"
+	"gallery/internal/obs/trace"
+	"gallery/internal/rules"
+	"gallery/internal/slo"
+	"gallery/internal/uuid"
+)
+
+// SLOBurn implements slo.BurnSink: every burn transition — namespace- or
+// model-scoped — asks for a capture. The per-scope debounce turns a burn
+// storm into at most one bundle per interval, so suppression here is the
+// expected steady state, not an error.
+func (r *Recorder) SLOBurn(ctx context.Context, o slo.Objective, severity string, burnFast, burnSlow, budget float64) {
+	_, err := r.Trigger(ctx, Trigger{
+		Kind:      "slo.burn",
+		Namespace: o.Namespace,
+		ModelID:   o.ModelID,
+		Reason: fmt.Sprintf("slo %s %s burn severity %s fast %.2f slow %.2f budget %.3f",
+			o.ID, o.Kind, severity, burnFast, burnSlow, budget),
+	})
+	if err != nil && !errors.Is(err, ErrSuppressed) && r.cfg.Logs != nil {
+		// Counted in incident_errors_total; nothing else to do from a sink.
+		_ = err
+	}
+}
+
+// HealthTransition implements health.TransitionSink: a model entering
+// the degraded state captures its flight data. Other transitions
+// (warning, recovery) are visible in the audit trail but don't merit a
+// bundle.
+func (r *Recorder) HealthTransition(ctx context.Context, modelID uuid.UUID, from, to health.Status, reasons []string) {
+	if to != health.StatusDegraded {
+		return
+	}
+	_, err := r.Trigger(ctx, Trigger{
+		Kind:    "health.degraded",
+		ModelID: modelID.String(),
+		Reason:  fmt.Sprintf("health %s -> %s: %s", from, to, joinReasons(reasons)),
+	})
+	_ = err // suppression and capture failure are both counted
+}
+
+// CaptureAction adapts the recorder into a rules-engine action named
+// "capture", so a standing rule like
+//
+//	when: 'slo.event == "burn"'  actions: [capture]
+//
+// snapshots the implicated model's flight data. Suppression by the
+// debounce is success from the rule's point of view — the evidence was
+// already captured moments ago — so only real capture failures surface
+// as action errors.
+func CaptureAction(r *Recorder) func(*rules.ActionContext) error {
+	return func(ac *rules.ActionContext) error {
+		t := Trigger{Kind: "rule", Reason: "rule " + ac.Rule.UUID}
+		if ac.Instance != nil {
+			t.ModelID = ac.Instance.ModelID.String()
+		}
+		t.TraceID = trace.FromContext(ac.Ctx).TraceIDString()
+		_, err := r.Trigger(ac.Ctx, t)
+		if errors.Is(err, ErrSuppressed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func joinReasons(reasons []string) string {
+	out := ""
+	for i, re := range reasons {
+		if i > 0 {
+			out += "; "
+		}
+		out += re
+	}
+	return out
+}

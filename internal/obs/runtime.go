@@ -2,9 +2,30 @@ package obs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// processStart anchors the uptime gauges. Package init runs before any
+// server accepts traffic, so this is the process start for observability
+// purposes.
+var processStart = time.Now()
+
+// ProcessStart reports when this process initialized, the value behind
+// process_start_time_seconds and the build-info stamp in incident
+// bundles.
+func ProcessStart() time.Time { return processStart }
+
+// BuildVersion reports the main module's version as recorded by the Go
+// linker ("(devel)" for plain `go build`, a tag or pseudo-version for
+// module-aware installs).
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
 
 // memStatsCache amortizes runtime.ReadMemStats — a stop-the-world call —
 // across the several gauge funcs that read it in one snapshot (and across
@@ -34,11 +55,24 @@ func (c *memStatsCache) get() runtime.MemStats {
 //	runtime_heap_sys_bytes        heap bytes held from the OS
 //	runtime_gc_runs_total         completed GC cycles
 //	runtime_gc_pause_last_seconds most recent GC stop-the-world pause
+//	gallery_build_info            constant 1, version labels identify the binary
+//	process_start_time_seconds    Unix time the process initialized
+//	process_uptime_seconds        seconds since then
 //
 // Values derived from MemStats share a ~1s cache so snapshot polling
 // doesn't itself become a stop-the-world generator.
 func RegisterRuntime(r *Registry) {
 	cache := &memStatsCache{ttl: time.Second}
+	// The Prometheus build-info idiom: a constant-1 gauge whose labels
+	// carry the identity, joinable against any other series.
+	r.GaugeFunc(Name("gallery_build_info", "version", BuildVersion(), "go_version", runtime.Version()),
+		func() float64 { return 1 })
+	r.GaugeFunc("process_start_time_seconds", func() float64 {
+		return float64(processStart.UnixNano()) / 1e9
+	})
+	r.GaugeFunc("process_uptime_seconds", func() float64 {
+		return time.Since(processStart).Seconds()
+	})
 	r.GaugeFunc("runtime_goroutines", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})

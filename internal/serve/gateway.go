@@ -200,6 +200,9 @@ func New(src Source, opts Options) *Gateway {
 	if opts.Obs == nil {
 		opts.Obs = obs.Default
 	}
+	// Build-info and uptime gauges, same contract as galleryd: one
+	// scrape (or incident bundle) identifies the binary it came from.
+	obs.RegisterRuntime(opts.Obs)
 	if opts.Name == "" {
 		opts.Name = "gateway"
 	}

@@ -12,6 +12,7 @@ import (
 	"gallery/internal/api"
 	"gallery/internal/client"
 	"gallery/internal/forecast"
+	"gallery/internal/incident"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	obslog "gallery/internal/obs/log"
@@ -114,6 +115,7 @@ func NewHandler(gw *Gateway, opts ...HandlerOption) *Handler {
 	h.mux.HandleFunc("GET /v1/serving", h.handleServing)
 	h.mux.HandleFunc("GET /v1/debug/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/debug/metrics/prom", h.handleMetricsProm)
+	h.mux.HandleFunc("GET /v1/debug/bundle", h.handleBundle)
 	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
 	if h.tracer != nil {
 		h.mux.HandleFunc("GET /v1/debug/traces", h.handleListTraces)
@@ -213,6 +215,15 @@ func (h *Handler) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	_ = h.obs.WriteProm(w)
 }
 
+// handleBundle serves this process's full observability snapshot —
+// metrics, trace and log tails, profiles, build info — for galleryd's
+// incident flight recorder to fold into a cross-process bundle.
+func (h *Handler) handleBundle(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeServeJSON(w, http.StatusOK,
+		incident.SnapshotProcess("galleryserve", h.obs, h.tracer, h.logs, 0, 0, time.Now()))
+}
+
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeServeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -226,6 +237,8 @@ func (h *Handler) handleListTraces(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := h.tracer.Store()
+	// no-store, like the metrics endpoints: debug state is live state.
+	w.Header().Set("Cache-Control", "no-store")
 	writeServeJSON(w, http.StatusOK, map[string]any{
 		"stats":  st.Stats(),
 		"traces": st.Summaries(limit),
@@ -238,6 +251,7 @@ func (h *Handler) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 		writeServeErr(w, http.StatusNotFound, fmt.Errorf("no trace %s", r.PathValue("id")))
 		return
 	}
+	w.Header().Set("Cache-Control", "no-store")
 	writeServeJSON(w, http.StatusOK, d)
 }
 
@@ -275,6 +289,7 @@ func (h *Handler) handleLogs(w http.ResponseWriter, r *http.Request) {
 		f.Limit = n
 	}
 	entries, next := h.logs.Entries(f)
+	w.Header().Set("Cache-Control", "no-store")
 	writeServeJSON(w, http.StatusOK, api.DebugLogsResponse{Entries: entries, NextSeq: next})
 }
 

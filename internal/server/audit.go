@@ -192,6 +192,7 @@ func serveDebugLogs(ring *obslog.Ring, w http.ResponseWriter, r *http.Request) {
 		f.Limit = n
 	}
 	entries, next := ring.Entries(f)
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, api.DebugLogsResponse{Entries: entries, NextSeq: next})
 }
 

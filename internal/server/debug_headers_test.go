@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gallery/internal/blobstore"
+	"gallery/internal/clock"
+	"gallery/internal/core"
+	"gallery/internal/obs"
+	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/trace"
+	"gallery/internal/relstore"
+	"gallery/internal/serve"
+	"gallery/internal/uuid"
+)
+
+// TestDebugEndpointHeaders pins the header contract shared by every
+// debug endpoint on BOTH daemons: an explicit application/json
+// Content-Type and Cache-Control: no-store. Debug state is live state —
+// a proxy that caches a trace tail or a log tail hands the operator a
+// stale picture of an incident.
+func TestDebugEndpointHeaders(t *testing.T) {
+	clk := clock.NewMock(t0)
+	reg, err := core.New(relstore.NewMemory(), blobstore.NewMemory(blobstore.Options{}), core.Options{
+		Clock: clk,
+		UUIDs: uuid.NewSeeded(21),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(reg, nil, nil, Options{
+		Obs:    obs.NewRegistry(),
+		Tracer: trace.New(trace.Options{Service: "galleryd", Sampler: trace.Always()}),
+		Logs:   obslog.NewRing(64),
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+
+	gw := serve.New(nil, serve.Options{RefreshInterval: -1, Obs: obs.NewRegistry()})
+	t.Cleanup(gw.Close)
+	gwTS := httptest.NewServer(serve.NewHandler(gw,
+		serve.WithTracer(trace.New(trace.Options{Service: "galleryserve", Sampler: trace.Always()})),
+		serve.WithLogRing(obslog.NewRing(64)),
+	))
+	t.Cleanup(gwTS.Close)
+
+	cases := []struct {
+		daemon string
+		base   string
+		path   string
+	}{
+		{"galleryd", ts.URL, "/v1/debug/logs"},
+		{"galleryd", ts.URL, "/v1/debug/traces"},
+		{"galleryd", ts.URL, "/v1/debug/metrics"},
+		{"galleryserve", gwTS.URL, "/v1/debug/logs"},
+		{"galleryserve", gwTS.URL, "/v1/debug/traces"},
+		{"galleryserve", gwTS.URL, "/v1/debug/metrics"},
+		{"galleryserve", gwTS.URL, "/v1/debug/bundle"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(tc.base + tc.path)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.daemon, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s %s: status = %d, want 200", tc.daemon, tc.path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type = %q, want application/json", tc.daemon, tc.path, ct)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s %s: Cache-Control = %q, want no-store", tc.daemon, tc.path, cc)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"gallery/internal/audit"
 	"gallery/internal/core"
 	"gallery/internal/health"
+	"gallery/internal/incident"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	obslog "gallery/internal/obs/log"
@@ -78,18 +79,22 @@ type Options struct {
 	// evaluation loop is the daemon's to start; the server only fronts
 	// declaration and status.
 	SLO *slo.Service
+	// Incidents, when non-nil, mounts the flight-recorder endpoints
+	// (POST/GET /v1/incidents, GET /v1/incidents/{id}).
+	Incidents *incident.Recorder
 }
 
 // Server wires HTTP routes to the registry and rule engine.
 type Server struct {
-	reg     *core.Registry
-	repo    *rules.Repo
-	engine  *rules.Engine
-	health  *health.Monitor
-	tenants *tenant.Manager // nil when auth is off
-	slo     *slo.Service    // nil when SLOs are off
-	mux     *http.ServeMux
-	h       http.Handler // mux behind the shared observability middleware
+	reg       *core.Registry
+	repo      *rules.Repo
+	engine    *rules.Engine
+	health    *health.Monitor
+	tenants   *tenant.Manager    // nil when auth is off
+	slo       *slo.Service       // nil when SLOs are off
+	incidents *incident.Recorder // nil when the flight recorder is off
+	mux       *http.ServeMux
+	h         http.Handler // mux behind the shared observability middleware
 
 	// routePatterns records every registered mux pattern, so tests can
 	// assert each route against the tenant role classification and a new
@@ -147,13 +152,14 @@ func NewWith(reg *core.Registry, repo *rules.Repo, engine *rules.Engine, opts Op
 	}
 	obs.RegisterRuntime(opts.Obs)
 	s := &Server{
-		reg:     reg,
-		repo:    repo,
-		engine:  engine,
-		health:  opts.Health,
-		tenants: opts.Tenants,
-		slo:     opts.SLO,
-		mux:     http.NewServeMux(),
+		reg:       reg,
+		repo:      repo,
+		engine:    engine,
+		health:    opts.Health,
+		tenants:   opts.Tenants,
+		slo:       opts.SLO,
+		incidents: opts.Incidents,
+		mux:       http.NewServeMux(),
 
 		obs:            opts.Obs,
 		tracer:         opts.Tracer,
@@ -347,6 +353,9 @@ func (s *Server) routes() {
 	if s.slo != nil {
 		s.sloRoutes()
 	}
+	if s.incidents != nil {
+		s.incidentRoutes()
+	}
 }
 
 // --- plumbing ---
@@ -377,8 +386,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.As(err, &maxBytes):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, core.ErrNotFound), errors.Is(err, relstore.ErrNotFound),
-		errors.Is(err, tenant.ErrNotFound), errors.Is(err, slo.ErrNotFound):
+		errors.Is(err, tenant.ErrNotFound), errors.Is(err, slo.ErrNotFound),
+		errors.Is(err, incident.ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, incident.ErrSuppressed):
+		status = http.StatusTooManyRequests
 	case errors.Is(err, core.ErrBadSpec), errors.Is(err, rules.ErrInvalidRule),
 		errors.Is(err, tenant.ErrBadSpec), errors.Is(err, slo.ErrBadSpec),
 		errors.Is(err, slo.ErrNoSource):

@@ -283,6 +283,9 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"GET /v1/slo":                         reader,
 		"DELETE /v1/slo/{id}":                 op,
 		"GET /v1/slo/status":                  reader,
+		"POST /v1/incidents":                  op,
+		"GET /v1/incidents":                   reader,
+		"GET /v1/incidents/{id}":              reader,
 	}
 
 	wildcard := regexp.MustCompile(`\{[^}]+\}`)
@@ -315,6 +318,7 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"POST /v1/predict/{model}": reader,
 		"GET /v1/serving":          reader,
 		"GET /v1/healthz":          reader, // exempted earlier in Authorize; reader if it ever weren't
+		"GET /v1/debug/bundle":     reader, // incident snapshot pull
 	} {
 		method, path, _ := strings.Cut(pattern, " ")
 		concrete := wildcard.ReplaceAllString(path, "m1")

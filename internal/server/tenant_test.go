@@ -12,6 +12,7 @@ import (
 	"gallery/internal/client"
 	"gallery/internal/clock"
 	"gallery/internal/core"
+	"gallery/internal/incident"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	"gallery/internal/relstore"
@@ -63,7 +64,13 @@ func newAuthHarness(t *testing.T) *authHarness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm, SLO: sloSvc})
+	rec, err := incident.Open(reg.DAL(), incident.Config{
+		Obs: o, Audit: reg.Audit(), Clock: clk, UUIDs: uuid.NewSeeded(35),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm, SLO: sloSvc, Incidents: rec})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	t.Cleanup(srv.Close)

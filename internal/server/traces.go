@@ -28,6 +28,8 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	store := s.tracer.Store()
+	// no-store, like the metrics endpoints: debug state is live state.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, struct {
 		Stats  trace.Stats     `json:"stats"`
 		Traces []trace.Summary `json:"traces"`
@@ -42,6 +44,7 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: trace %s not in buffer", core.ErrNotFound, id))
 		return
 	}
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, detail)
 }
 

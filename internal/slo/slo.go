@@ -104,6 +104,14 @@ type EventSink interface {
 	SLOEvent(ctx context.Context, instanceID uuid.UUID, event string, fields map[string]any)
 }
 
+// BurnSink receives every burn transition regardless of scope —
+// namespace- and model-level objectives alike — unlike EventSink, which
+// only fires for model-scoped objectives that resolve to an instance.
+// The incident flight recorder satisfies it.
+type BurnSink interface {
+	SLOBurn(ctx context.Context, o Objective, severity string, burnFast, burnSlow, budget float64)
+}
+
 // InstanceResolver maps a model ID (as it appears in the predict path)
 // to its current production instance. Burn events only dispatch into the
 // rules engine when the model resolves — rules run against an instance
@@ -208,6 +216,10 @@ type Config struct {
 	Audit     *audit.Log
 	Events    EventSink
 	Instances InstanceResolver
+	// Burns, when set, is called for every burn transition after the
+	// audit record, before any rules dispatch. Evaluate fires it outside
+	// the service lock, so the sink may call back into Statuses.
+	Burns BurnSink
 }
 
 func (c Config) defaults() Config {
@@ -634,6 +646,9 @@ func (s *Service) emit(ctx context.Context, t transition) {
 			Detail: fmt.Sprintf("%s %s %s target %v severity %s burn fast %.2f slow %.2f budget %.3f",
 				t.event, t.obj.Kind, t.obj.scope(), t.obj.Target, t.severity, t.burnFast, t.burnSlow, t.budget),
 		})
+	}
+	if s.cfg.Burns != nil && t.event == "burn" {
+		s.cfg.Burns.SLOBurn(ctx, t.obj, t.severity, t.burnFast, t.burnSlow, t.budget)
 	}
 	if s.cfg.Events == nil || t.obj.ModelID == "" || s.cfg.Instances == nil {
 		return

@@ -122,8 +122,11 @@ func Classify(method, path string) (need Role, mutation bool) {
 		return RoleReader, false
 	case isTenantAdminPath(path),
 		isSLOAdminPath(path),
+		path == "/v1/incidents",
 		path == "/v1/rules",
 		strings.HasPrefix(path, "/v1/rules/"):
+		// Triggering an incident capture allocates blobstore space and
+		// freezes diagnostic state — operator work, like declaring SLOs.
 		return RoleOperator, true
 	}
 	return RolePublisher, true
