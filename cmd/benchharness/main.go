@@ -10,7 +10,7 @@
 // Experiment names: table1, fig1, fig4, fig5-7, fig8, scale, switching,
 // deployment, simulation, drift, skew, consistency, classes, reposition,
 // serving, onlinedrift, auditchurn, relquery, multitenant, sloburn,
-// incidentcapture, tiered.
+// incidentcapture, profilereg, tiered.
 //
 // Perf trajectory: experiments that measure performance also emit
 // machine-readable metrics (internal/benchfmt).
@@ -260,6 +260,25 @@ func main() {
 			}
 			if extra := res.RecorderExtraAllocs(); extra > 0.5 {
 				return "", nil, fmt.Errorf("incidentcapture: armed recorder added %.1f allocs/op on the predict path (want 0)", extra)
+			}
+			return res.Format(), res.BenchMetrics(), nil
+		}},
+		{"profilereg", "E25 (extension) — continuous profiling: baseline detection, rule-driven capture, fleet view", func() (string, []benchfmt.Metric, error) {
+			res, err := experiments.ProfileRegression(2000)
+			if err != nil {
+				return "", nil, err
+			}
+			if !strings.Contains(res.HogFunction, "profileregHogEncode") {
+				return "", nil, fmt.Errorf("profilereg: detector named %q, want the injected hog", res.HogFunction)
+			}
+			if res.Bundles != 1 {
+				return "", nil, fmt.Errorf("profilereg: %d bundles persisted (want exactly 1)", res.Bundles)
+			}
+			if res.BundleProfiles == 0 {
+				return "", nil, fmt.Errorf("profilereg: bundle carried no profiler history")
+			}
+			if extra := res.ProfilerExtraAllocs(); extra > 0.5 {
+				return "", nil, fmt.Errorf("profilereg: armed profiler added %.1f allocs/op on the predict path (want 0)", extra)
 			}
 			return res.Format(), res.BenchMetrics(), nil
 		}},

@@ -28,6 +28,7 @@
 //	stats
 //	metrics   [-prom]
 //	slo       create|list|delete|status ... (see `slo -h`)
+//	profile   top|diff|baseline ... (see `profile -h`)
 //	incident  list|get|trigger ... (see `incident -h`)
 //	traces    [-limit N | -id TRACE_ID] [-json]
 //	audit     [-entity UUID | -model UUID] [-action A] [-actor A] [-trace ID]
@@ -104,6 +105,8 @@ func main() {
 		err = cmdMetrics(c, rest)
 	case "slo":
 		err = cmdSLO(c, rest)
+	case "profile":
+		err = cmdProfile(c, rest)
 	case "incident":
 		err = cmdIncident(c, rest)
 	case "traces":

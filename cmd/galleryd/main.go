@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
 	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
@@ -76,6 +78,14 @@ func main() {
 		incDebounce = flag.Duration("incident-debounce", 5*time.Minute, "minimum interval between captures of the same scope (negative disables)")
 		incGateway  = flag.String("incident-gateway", "", "serving gateway base URL pulled into incident bundles via GET /v1/debug/bundle (empty: local snapshot only)")
 		incGwToken  = flag.String("incident-gateway-token", "", "bearer token for the incident gateway pull when the gateway runs -auth")
+
+		profEvery    = flag.Duration("profile-interval", profile.DefaultInterval, "continuous-profiler cycle period (negative disables the capture loop)")
+		profWindow   = flag.Duration("profile-window", profile.DefaultWindow, "CPU sampling window per profiler cycle")
+		profHz       = flag.Int("profile-hz", profile.DefaultHz, "CPU profile sample rate")
+		profBaseline = flag.String("profile-baseline", "", "per-process CPU baseline JSON (PROFILE_galleryd.json); regressions against it raise profile.regression rule events")
+		profFactor   = flag.Float64("profile-factor", profile.DefaultFactor, "flag a function when its CPU self-share exceeds baseline by this factor")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events (0 disables)")
+		blockRate    = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns (0 disables)")
 
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
@@ -134,6 +144,46 @@ func main() {
 	// to it on its next refresh.
 	engine.RegisterAction("deploy", rules.DeployAction(reg))
 
+	// Lock-contention profiles are opt-in: sampling costs a little on every
+	// contended mutex/blocking op, so the default leaves both off and the
+	// profiler's mutex/block summaries empty.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
+	// Continuous profiling: the local capture loop exports into the fleet
+	// store (which gateways also ship into over POST /v1/debug/profile),
+	// and a baseline-armed detector turns hot-path regressions into
+	// profile.regression rule events.
+	fleet := profile.NewFleet(0)
+	var detector *profile.Detector
+	if *profBaseline != "" {
+		base, err := profile.LoadBaseline(*profBaseline)
+		if err != nil {
+			log.Fatalf("galleryd: load profile baseline: %v", err)
+		}
+		detector = profile.NewDetector(profile.DetectorConfig{
+			Baseline: base,
+			Factor:   *profFactor,
+			Sink:     engine,
+		})
+	}
+	profiler := profile.New(profile.Config{
+		Process:  "galleryd",
+		Window:   *profWindow,
+		Interval: *profEvery,
+		Hz:       *profHz,
+		Detector: detector,
+		Exporter: fleet,
+	})
+	if *profEvery > 0 {
+		profiler.Start()
+		defer profiler.Stop()
+	}
+
 	// Structured logs land in a bounded in-memory ring served at
 	// GET /v1/debug/logs, trace-correlated; -access-log additionally tees
 	// them to stderr as JSON lines. Built before the flight recorder so
@@ -150,6 +200,7 @@ func main() {
 		Tracer:       tracer,
 		Logs:         logRing,
 		Audit:        reg.Audit(),
+		Profiles:     profiler.Ring(),
 		Gateway:      *incGateway,
 		GatewayToken: *incGwToken,
 		Keep:         *incKeep,
@@ -185,6 +236,7 @@ func main() {
 		Logs:      logRing,
 		LogLevel:  obslog.ParseLevel(*logLevel),
 		Incidents: recorder,
+		Profiles:  fleet,
 	}
 	if *authOn {
 		// The control plane shares the metadata store, so namespaces,

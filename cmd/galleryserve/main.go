@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"gallery/internal/client"
 	"gallery/internal/forecast"
 	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/serve"
@@ -61,6 +63,14 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /v1/debug/pprof/ (profiles can leak memory contents; opt-in)")
 		logLevel  = flag.String("log-level", "info", "min level entering the /v1/debug/logs ring: debug|info|warn|error")
 		logBuffer = flag.Int("log-buffer", 1024, "structured log lines kept for /v1/debug/logs")
+
+		profEvery    = flag.Duration("profile-interval", profile.DefaultInterval, "continuous-profiler cycle period (negative disables the capture loop)")
+		profWindow   = flag.Duration("profile-window", profile.DefaultWindow, "CPU sampling window per profiler cycle")
+		profHz       = flag.Int("profile-hz", profile.DefaultHz, "CPU profile sample rate")
+		profBaseline = flag.String("profile-baseline", "", "per-process CPU baseline JSON (PROFILE_galleryserve.json); regressions against it are exposed in the profile_regression gauge")
+		profFactor   = flag.Float64("profile-factor", profile.DefaultFactor, "flag a function when its CPU self-share exceeds baseline by this factor")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events (0 disables)")
+		blockRate    = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns (0 disables)")
 
 		authOn    = flag.Bool("auth", false, "require bearer tokens on this gateway (needs -token-file)")
 		tokenFile = flag.String("token-file", "", "JSON seed of namespaces and tokens this gateway accepts (see internal/tenant.Seed)")
@@ -113,6 +123,43 @@ func main() {
 		}
 	}
 
+	// Lock-contention profiles are opt-in (sampling costs a little on every
+	// contended op); the profiler's mutex/block summaries stay empty
+	// without them.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
+	// Continuous profiling: window summaries ship to galleryd's fleet store
+	// (the trace-export pattern) so GET /v1/debug/profile there covers both
+	// tiers; the local ring serves the same path here and rides incident
+	// bundle pulls.
+	profExporter := profile.NewHTTPExporter(*gallery+"/v1/debug/profile", *token, nil)
+	defer profExporter.Close()
+	var detector *profile.Detector
+	if *profBaseline != "" {
+		base, err := profile.LoadBaseline(*profBaseline)
+		if err != nil {
+			log.Fatalf("galleryserve: load profile baseline: %v", err)
+		}
+		detector = profile.NewDetector(profile.DetectorConfig{Baseline: base, Factor: *profFactor})
+	}
+	profiler := profile.New(profile.Config{
+		Process:  "galleryserve",
+		Window:   *profWindow,
+		Interval: *profEvery,
+		Hz:       *profHz,
+		Detector: detector,
+		Exporter: profExporter,
+	})
+	if *profEvery > 0 {
+		profiler.Start()
+		defer profiler.Stop()
+	}
+
 	// Structured logs land in a bounded ring served at GET /v1/debug/logs
 	// (trace-correlated); -access-log tees them to stderr as JSON lines.
 	ring := obslog.NewRing(*logBuffer)
@@ -125,6 +172,7 @@ func main() {
 		serve.WithTracer(tracer),
 		serve.WithLogRing(ring),
 		serve.WithAccessLog(logger),
+		serve.WithProfiler(profiler),
 	}
 	if *pprofOn {
 		opts = append(opts, serve.WithPprof())

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gallery/internal/api"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 )
 
@@ -545,6 +546,27 @@ func (c *Client) ListIncidents() ([]api.Incident, error) {
 func (c *Client) GetIncident(id string) (api.IncidentDetail, error) {
 	var out api.IncidentDetail
 	err := c.do("GET", "/v1/incidents/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// DebugProfile fetches the continuous-profiling view: per-process
+// top-N function summaries merged across retained windows. merge > 0
+// restricts the fold to windows ending within that duration; topN > 0
+// bounds functions per summary.
+func (c *Client) DebugProfile(merge time.Duration, topN int) (profile.View, error) {
+	path := "/v1/debug/profile"
+	q := url.Values{}
+	if merge > 0 {
+		q.Set("merge", merge.String())
+	}
+	if topN > 0 {
+		q.Set("n", strconv.Itoa(topN))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out profile.View
+	err := c.do("GET", path, nil, &out)
 	return out, err
 }
 

@@ -493,3 +493,31 @@ func TestIncidentCaptureDebounceAndDurability(t *testing.T) {
 		t.Error("Format() missing debounce verdict")
 	}
 }
+
+func TestProfileRegressionClosedLoop(t *testing.T) {
+	res, err := ProfileRegression(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.HogFunction, "profileregHogEncode") {
+		t.Fatalf("detector named %q, want the injected hog", res.HogFunction)
+	}
+	if res.HogFactor <= 3 {
+		t.Fatalf("hog factor %.1f did not clear the rule threshold", res.HogFactor)
+	}
+	if res.Bundles != 1 {
+		t.Fatalf("bundles = %d, want exactly 1 (debounce)", res.Bundles)
+	}
+	if res.BundleProfiles == 0 {
+		t.Fatal("bundle carried no profiler history")
+	}
+	if res.FleetProcesses != 2 {
+		t.Fatalf("fleet view covers %d processes, want 2", res.FleetProcesses)
+	}
+	if extra := res.ProfilerExtraAllocs(); extra > 0.5 {
+		t.Fatalf("armed profiler cost %.1f allocs/op on the predict path, want 0", extra)
+	}
+	if !strings.Contains(res.Format(), "self-overhead") {
+		t.Error("Format() missing the overhead row")
+	}
+}

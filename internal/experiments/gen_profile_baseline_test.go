@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gallery/internal/api"
+	"gallery/internal/blobstore"
+	"gallery/internal/clock"
+	"gallery/internal/core"
+	"gallery/internal/forecast"
+	"gallery/internal/obs"
+	"gallery/internal/obs/profile"
+	"gallery/internal/relstore"
+	"gallery/internal/serve"
+	"gallery/internal/uuid"
+)
+
+// TestGenerateProfileBaseline regenerates the repo's example
+// PROFILE_galleryserve.json from real predict traffic. Run with
+// GEN_PROFILE_BASELINE=dir to write; skipped otherwise.
+func TestGenerateProfileBaseline(t *testing.T) {
+	dir := os.Getenv("GEN_PROFILE_BASELINE")
+	if dir == "" {
+		t.Skip("set GEN_PROFILE_BASELINE=<dir> to regenerate the example baseline")
+	}
+	clk := clock.NewMock(epoch)
+	reg, err := core.New(relstore.NewMemory(), blobstore.NewMemory(blobstore.Options{}), core.Options{
+		Clock: clk, UUIDs: uuid.NewSeeded(99),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.RegisterModel(core.ModelSpec{BaseVersionID: "baseline_gen", Project: "profilereg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := forecast.Encode(&forecast.Heuristic{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reg.UploadInstance(core.InstanceSpec{ModelID: m.ID, Name: "forecaster", City: "sf"}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.PromoteInstance(in.ID); err != nil {
+		t.Fatal(err)
+	}
+	gw := serve.New(regSource{reg}, serve.Options{RefreshInterval: -1, Obs: obs.NewRegistry()})
+	defer gw.Close()
+	h := serve.NewHandler(gw)
+	payload, err := json.Marshal(api.PredictRequest{History: []float64{10, 12, 11, 13, 12, 14, 13, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := profileregBurn(func() float64 {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict/"+m.ID.String(), strings.NewReader(string(payload)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return float64(rec.Code)
+	})
+	p := profile.New(profile.Config{
+		Process: "galleryserve", Window: 2 * time.Second, Interval: time.Hour,
+		Obs: obs.NewRegistry(), Kinds: []string{},
+	})
+	for i := 0; i < 3; i++ {
+		p.CaptureCycle()
+	}
+	stop()
+	merged := profile.Merge(p.Ring().Recent(profile.KindCPU, 0), profile.DefaultTopN)
+	if merged.Samples == 0 {
+		t.Fatal("no CPU samples collected")
+	}
+	if err := profile.WriteBaseline(dir, profile.BaselineOf("galleryserve", merged)); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s with %d functions", profile.BaselineFileName("galleryserve"), len(merged.Top))
+}

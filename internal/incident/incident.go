@@ -37,6 +37,7 @@ import (
 	"gallery/internal/dal"
 	"gallery/internal/obs"
 	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/slo"
@@ -54,6 +55,7 @@ const (
 	DefaultLogTail        = 256
 	DefaultTraceTail      = 64
 	DefaultAuditTail      = 64
+	DefaultProfileTail    = 16
 )
 
 // maxProfileBytes bounds each embedded pprof text profile so one huge
@@ -105,6 +107,13 @@ type SLOStatuser interface {
 	Statuses() []slo.Status
 }
 
+// ProfileHistory supplies the bundle's continuous-profiling tail:
+// recent window summaries across kinds, newest first. *profile.Ring
+// satisfies it.
+type ProfileHistory interface {
+	History(limit int) []profile.Summary
+}
+
 // Config wires a Recorder into one process.
 type Config struct {
 	// Obs is the registry snapshotted into bundles; also home of the
@@ -122,6 +131,9 @@ type Config struct {
 	// components that want the recorder as their event sink).
 	Health HealthLister
 	SLO    SLOStatuser
+	// Profiles is the continuous profiler's window ring, tailed into the
+	// local process snapshot as pre-trigger evidence; may be nil.
+	Profiles ProfileHistory
 
 	// Service names the local process in its snapshot (default
 	// "galleryd").
@@ -143,10 +155,12 @@ type Config struct {
 	// Debounce is the per-scope minimum interval between captures
 	// (token bucket of one). 0 uses DefaultDebounce; negative disables.
 	Debounce time.Duration
-	// LogTail / TraceTail / AuditTail bound each bundle section.
-	LogTail   int
-	TraceTail int
-	AuditTail int
+	// LogTail / TraceTail / AuditTail / ProfileTail bound each bundle
+	// section.
+	LogTail     int
+	TraceTail   int
+	AuditTail   int
+	ProfileTail int
 
 	Clock clock.Clock
 	UUIDs *uuid.Generator
@@ -198,6 +212,9 @@ func Open(d *dal.DAL, cfg Config) (*Recorder, error) {
 	}
 	if cfg.AuditTail <= 0 {
 		cfg.AuditTail = DefaultAuditTail
+	}
+	if cfg.ProfileTail <= 0 {
+		cfg.ProfileTail = DefaultProfileTail
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
@@ -289,7 +306,7 @@ func (r *Recorder) capture(ctx context.Context, t Trigger, now time.Time, health
 
 	b := api.IncidentBundle{
 		Registry: SnapshotProcess(r.cfg.Service, r.cfg.Obs, r.cfg.Tracer, r.cfg.Logs,
-			r.cfg.TraceTail, r.cfg.LogTail, now),
+			r.cfg.Profiles, r.cfg.TraceTail, r.cfg.LogTail, r.cfg.ProfileTail, now),
 	}
 	if r.cfg.Gateway != "" {
 		gs, err := r.fetchGateway(ctx)
@@ -436,15 +453,18 @@ func (r *Recorder) Get(ctx context.Context, id string) (api.Incident, api.Incide
 
 // SnapshotProcess freezes one process's observability state: metric
 // registry (JSON and Prometheus text), trace-ring tail, log-ring tail,
-// goroutine and heap profiles, and build info. It is what the serving
-// gateway serves at GET /v1/debug/bundle and what the recorder embeds
-// for its own process.
-func SnapshotProcess(service string, reg *obs.Registry, tracer *trace.Tracer, logs *obslog.Ring, traceTail, logTail int, now time.Time) api.ProcessSnapshot {
+// continuous-profiler window history, goroutine and heap profiles, and
+// build info. It is what the serving gateway serves at
+// GET /v1/debug/bundle and what the recorder embeds for its own process.
+func SnapshotProcess(service string, reg *obs.Registry, tracer *trace.Tracer, logs *obslog.Ring, profiles ProfileHistory, traceTail, logTail, profileTail int, now time.Time) api.ProcessSnapshot {
 	if traceTail <= 0 {
 		traceTail = DefaultTraceTail
 	}
 	if logTail <= 0 {
 		logTail = DefaultLogTail
+	}
+	if profileTail <= 0 {
+		profileTail = DefaultProfileTail
 	}
 	ps := api.ProcessSnapshot{
 		Service:  service,
@@ -476,6 +496,9 @@ func SnapshotProcess(service string, reg *obs.Registry, tracer *trace.Tracer, lo
 	}
 	if logs != nil {
 		ps.Logs, _ = logs.Entries(obslog.Filter{Limit: logTail})
+	}
+	if profiles != nil {
+		ps.Profiles = profiles.History(profileTail)
 	}
 	ps.GoroutineProfile = profileText("goroutine")
 	ps.HeapProfile = profileText("heap")

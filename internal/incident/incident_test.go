@@ -19,6 +19,7 @@ import (
 	"gallery/internal/dal"
 	"gallery/internal/obs"
 	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/uuid"
@@ -312,5 +313,96 @@ func TestAuditTailScoping(t *testing.T) {
 	}
 	if len(bundle.Audit) != 1 || bundle.Audit[0].ModelID != "m1" {
 		t.Fatalf("audit tail not scoped to model: %+v", bundle.Audit)
+	}
+}
+
+func TestBundleEmbedsProfileHistory(t *testing.T) {
+	// Hand-feed a profiler ring two windows so the capture has
+	// pre-trigger evidence to embed, then restart the stores: the
+	// history must ride the bundle blob through the WAL replay.
+	ring := profile.NewRing(8)
+	ring.Add(profile.Summary{
+		Kind: profile.KindCPU, Unit: "nanoseconds", Total: 1000, Samples: 10,
+		Start: t0.Add(-time.Minute), End: t0.Add(-50 * time.Second),
+		Top: []profile.FuncStat{{Name: "gallery/internal/forecast.hot", Self: 900, SelfShare: 0.9}},
+	})
+	ring.Add(profile.Summary{
+		Kind: profile.KindHeap, Unit: "bytes", Total: 1 << 20,
+		Start: t0.Add(-30 * time.Second), End: t0.Add(-30 * time.Second),
+	})
+
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "meta.wal")
+	open := func() (*dal.DAL, func()) {
+		meta, err := relstore.Open(walPath, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs, err := blobstore.NewDisk(filepath.Join(dir, "blobs"), blobstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dal.New(meta, blobs, dal.Options{Obs: obs.NewRegistry()}), func() { meta.Close() }
+	}
+
+	d, cleanup := open()
+	r, err := Open(d, Config{Obs: obs.NewRegistry(), Clock: clock.NewMock(t0), UUIDs: uuid.NewSeeded(13), Profiles: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := r.Trigger(context.Background(), Trigger{Kind: "rule", Namespace: "maps", Reason: "cpu regression"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bundle, err := r.Get(context.Background(), inc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Registry.Profiles) != 2 {
+		t.Fatalf("bundle profiles = %d summaries, want 2", len(bundle.Registry.Profiles))
+	}
+	// Newest first: the heap snapshot was added last.
+	if bundle.Registry.Profiles[0].Kind != profile.KindHeap || bundle.Registry.Profiles[1].Kind != profile.KindCPU {
+		t.Fatalf("profile history order wrong: %+v", bundle.Registry.Profiles)
+	}
+	if top := bundle.Registry.Profiles[1].Top; len(top) != 1 || top[0].Name != "gallery/internal/forecast.hot" {
+		t.Fatalf("cpu top functions lost in capture: %+v", top)
+	}
+	cleanup()
+
+	d2, cleanup2 := open()
+	defer cleanup2()
+	r2, err := Open(d2, Config{Obs: obs.NewRegistry(), Clock: clock.NewMock(t0), UUIDs: uuid.NewSeeded(14)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bundle2, err := r2.Get(context.Background(), inc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle2.Registry.Profiles) != 2 || bundle2.Registry.Profiles[1].Total != 1000 {
+		t.Fatalf("post-restart profile history degraded: %+v", bundle2.Registry.Profiles)
+	}
+}
+
+func TestProfileTailBounded(t *testing.T) {
+	ring := profile.NewRing(64)
+	for i := 0; i < 40; i++ {
+		ring.Add(profile.Summary{Kind: profile.KindCPU, Total: int64(i), End: t0.Add(time.Duration(i) * time.Second)})
+	}
+	r, _, _ := harness(t, Config{Profiles: ring, ProfileTail: 4})
+	inc, err := r.Trigger(context.Background(), Trigger{Kind: "manual", Namespace: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bundle, err := r.Get(context.Background(), inc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Registry.Profiles) != 4 {
+		t.Fatalf("profile tail = %d, want 4 (ProfileTail bound ignored)", len(bundle.Registry.Profiles))
+	}
+	if bundle.Registry.Profiles[0].Total != 39 {
+		t.Fatalf("tail not newest-first: %+v", bundle.Registry.Profiles[0])
 	}
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestReadProcStatFixture pins the /proc/self/stat parse against a
+// synthetic line, including the awkward comm field containing spaces
+// and a ')' of its own.
+func TestReadProcStatFixture(t *testing.T) {
+	dir := t.TempDir()
+	fixture := filepath.Join(dir, "stat")
+	// proc(5) field numbers: utime=14, stime=15, rss=24 (pages).
+	line := "1234 (a (weird) comm) S 1 1234 1234 0 -1 4194560 " + // 3..9
+		"500 0 0 0 " + // 10..13 minflt cminflt majflt cmajflt
+		"250 150 0 0 20 0 8 0 12345 104857600 " + // 14..23 utime stime ... vsize
+		"2048 " + // 24 rss pages
+		"18446744073709551615\n"
+	if err := os.WriteFile(fixture, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := procStatPath
+	procStatPath = fixture
+	defer func() { procStatPath = old }()
+
+	cpu, rss, ok := readProcStat()
+	if !ok {
+		t.Fatal("fixture did not parse")
+	}
+	if want := float64(250+150) / userHZ; cpu != want {
+		t.Fatalf("cpu = %v, want %v", cpu, want)
+	}
+	if want := 2048 * float64(os.Getpagesize()); rss != want {
+		t.Fatalf("rss = %v, want %v", rss, want)
+	}
+
+	// Garbage falls back cleanly rather than erroring the gauges.
+	if err := os.WriteFile(fixture, []byte("not a stat line"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := readProcStat(); ok {
+		t.Fatal("garbage parsed as valid")
+	}
+	procStatPath = filepath.Join(dir, "missing")
+	if _, _, ok := readProcStat(); ok {
+		t.Fatal("missing file parsed as valid")
+	}
+}
+
+// TestProcessProcGauges exercises the live gauges where /proc exists.
+func TestProcessProcGauges(t *testing.T) {
+	if _, _, ok := readProcStat(); !ok {
+		t.Skip("/proc/self/stat not readable on this platform")
+	}
+	r := NewRegistry()
+	RegisterRuntime(r)
+	snap := r.Snapshot()
+	cpu, haveCPU := snap.Gauges["process_cpu_seconds_total"]
+	rss, haveRSS := snap.Gauges["process_resident_memory_bytes"]
+	if !haveCPU || !haveRSS {
+		t.Fatalf("proc gauges not registered: %v", snap.Gauges)
+	}
+	if cpu < 0 {
+		t.Fatalf("process_cpu_seconds_total = %v", cpu)
+	}
+	if rss <= 0 {
+		t.Fatalf("process_resident_memory_bytes = %v", rss)
+	}
+}
+
+// TestProcStatCacheTTL verifies the cache actually amortizes reads: a
+// second get inside the TTL serves the cached value even if the backing
+// file changes.
+func TestProcStatCacheTTL(t *testing.T) {
+	dir := t.TempDir()
+	fixture := filepath.Join(dir, "stat")
+	write := func(utime string) {
+		line := "1 (c) S 1 1 1 0 -1 0 0 0 0 0 " + utime + " 0 0 0 20 0 1 0 0 0 100 0\n"
+		if err := os.WriteFile(fixture, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("100")
+	old := procStatPath
+	procStatPath = fixture
+	defer func() { procStatPath = old }()
+
+	c := &procStatCache{ttl: time.Hour}
+	cpu1, _ := c.get()
+	write("900")
+	cpu2, _ := c.get()
+	if cpu1 != cpu2 {
+		t.Fatalf("cache did not hold within TTL: %v then %v", cpu1, cpu2)
+	}
+	c.at = time.Time{} // expire
+	cpu3, _ := c.get()
+	if cpu3 != 900.0/userHZ {
+		t.Fatalf("expired cache re-read = %v, want 9", cpu3)
+	}
+}

@@ -44,20 +44,20 @@ func TestIndexLayout(t *testing.T) {
 		v    float64
 		want int
 	}{
-		{0, n + 1},           // center
-		{0.5, n + 1},         // below Lo
-		{-0.5, n + 1},        // below Lo, negative
-		{math.NaN(), n + 1},  // NaN guarded into center
-		{1, n + 2},           // first positive bucket
-		{5, n + 2},           // still [1,10)
-		{10, n + 3},          // [10,100)
-		{999, n + 4},         // [100,1000)
-		{1000, 2*n + 2},      // positive overflow
-		{1e18, 2*n + 2},      // way overflow
-		{-1, n},              // first negative bucket
-		{-10, n - 1},         // [-100,-10)
-		{-999, n - 2},        // (-1000,-100]
-		{-1000, 0},           // negative overflow
+		{0, n + 1},          // center
+		{0.5, n + 1},        // below Lo
+		{-0.5, n + 1},       // below Lo, negative
+		{math.NaN(), n + 1}, // NaN guarded into center
+		{1, n + 2},          // first positive bucket
+		{5, n + 2},          // still [1,10)
+		{10, n + 3},         // [10,100)
+		{999, n + 4},        // [100,1000)
+		{1000, 2*n + 2},     // positive overflow
+		{1e18, 2*n + 2},     // way overflow
+		{-1, n},             // first negative bucket
+		{-10, n - 1},        // [-100,-10)
+		{-999, n - 2},       // (-1000,-100]
+		{-1000, 0},          // negative overflow
 		{math.Inf(1), 2*n + 2},
 		{math.Inf(-1), 0},
 	}

@@ -304,6 +304,36 @@ func (e *Engine) SLOEvent(ctx context.Context, instanceID uuid.UUID, event strin
 	}
 }
 
+// ProfileEvent dispatches a continuous-profiling detection (currently
+// only "regression") from the profile delta detector. Unlike health and
+// SLO events it is a process-level signal — there is no instance behind
+// a hot function — so rules evaluate with uuid.Nil and a minimal
+// environment: profile.event, profile.process, profile.function,
+// profile.share, profile.baseline, profile.factor, e.g.
+//
+//	when: 'profile.event == "regression" && profile.factor > 3'
+func (e *Engine) ProfileEvent(ctx context.Context, event string, fields map[string]any) {
+	e.mu.Lock()
+	e.stats.EventsTriggered++
+	e.mu.Unlock()
+	e.mx.events.Inc()
+	payload := make(map[string]any, len(fields)+1)
+	for k, v := range fields {
+		payload[k] = v
+	}
+	payload["event"] = event
+	extra := map[string]any{"profile": payload}
+	for _, rule := range e.repo.Active() {
+		if rule.Kind != KindAction || !e.inScope(rule) {
+			continue
+		}
+		if !watches(rule, "profile") {
+			continue
+		}
+		e.dispatch(ctx, rule, uuid.Nil, extra)
+	}
+}
+
 // MetadataUpdated notifies the engine that an instance's metadata changed;
 // action rules watching any of the named fields re-evaluate.
 func (e *Engine) MetadataUpdated(instanceID uuid.UUID, fields ...string) {
@@ -373,7 +403,19 @@ func (e *Engine) runActionRule(ctx context.Context, rule *Rule, instanceID uuid.
 		span.Annotate("rule", rule.UUID)
 		span.Annotate("instance", instanceID.String())
 	}
-	env, in, err := e.instanceEnv(ctx, instanceID)
+	var (
+		env *expr.Env
+		in  *core.Instance
+		err error
+	)
+	if instanceID == uuid.Nil {
+		// Process-level events (profile regressions) have no instance;
+		// give the rule an empty metrics map so metric references fail
+		// soft the same way a missing metric does.
+		env = &expr.Env{Vars: map[string]any{"metrics": map[string]any{}}}
+	} else {
+		env, in, err = e.instanceEnv(ctx, instanceID)
+	}
 	if err == nil {
 		for k, v := range extra {
 			env.Vars[k] = v

@@ -11,6 +11,7 @@ import (
 	"gallery/internal/core"
 	"gallery/internal/obs"
 	obslog "gallery/internal/obs/log"
+	"gallery/internal/obs/profile"
 	"gallery/internal/obs/trace"
 	"gallery/internal/relstore"
 	"gallery/internal/serve"
@@ -32,9 +33,10 @@ func TestDebugEndpointHeaders(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := NewWith(reg, nil, nil, Options{
-		Obs:    obs.NewRegistry(),
-		Tracer: trace.New(trace.Options{Service: "galleryd", Sampler: trace.Always()}),
-		Logs:   obslog.NewRing(64),
+		Obs:      obs.NewRegistry(),
+		Tracer:   trace.New(trace.Options{Service: "galleryd", Sampler: trace.Always()}),
+		Logs:     obslog.NewRing(64),
+		Profiles: profile.NewFleet(0),
 	})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -42,9 +44,11 @@ func TestDebugEndpointHeaders(t *testing.T) {
 
 	gw := serve.New(nil, serve.Options{RefreshInterval: -1, Obs: obs.NewRegistry()})
 	t.Cleanup(gw.Close)
+	gwProf := profile.New(profile.Config{Process: "galleryserve"})
 	gwTS := httptest.NewServer(serve.NewHandler(gw,
 		serve.WithTracer(trace.New(trace.Options{Service: "galleryserve", Sampler: trace.Always()})),
 		serve.WithLogRing(obslog.NewRing(64)),
+		serve.WithProfiler(gwProf),
 	))
 	t.Cleanup(gwTS.Close)
 
@@ -56,10 +60,12 @@ func TestDebugEndpointHeaders(t *testing.T) {
 		{"galleryd", ts.URL, "/v1/debug/logs"},
 		{"galleryd", ts.URL, "/v1/debug/traces"},
 		{"galleryd", ts.URL, "/v1/debug/metrics"},
+		{"galleryd", ts.URL, "/v1/debug/profile"},
 		{"galleryserve", gwTS.URL, "/v1/debug/logs"},
 		{"galleryserve", gwTS.URL, "/v1/debug/traces"},
 		{"galleryserve", gwTS.URL, "/v1/debug/metrics"},
 		{"galleryserve", gwTS.URL, "/v1/debug/bundle"},
+		{"galleryserve", gwTS.URL, "/v1/debug/profile"},
 	}
 	for _, tc := range cases {
 		resp, err := http.Get(tc.base + tc.path)

@@ -286,6 +286,8 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"POST /v1/incidents":                  op,
 		"GET /v1/incidents":                   reader,
 		"GET /v1/incidents/{id}":              reader,
+		"GET /v1/debug/profile":               reader,
+		"POST /v1/debug/profile":              pub,
 	}
 
 	wildcard := regexp.MustCompile(`\{[^}]+\}`)
@@ -319,6 +321,7 @@ func TestRouteClassificationCoverage(t *testing.T) {
 		"GET /v1/serving":          reader,
 		"GET /v1/healthz":          reader, // exempted earlier in Authorize; reader if it ever weren't
 		"GET /v1/debug/bundle":     reader, // incident snapshot pull
+		"GET /v1/debug/profile":    reader, // continuous-profiling summaries
 	} {
 		method, path, _ := strings.Cut(pattern, " ")
 		concrete := wildcard.ReplaceAllString(path, "m1")

@@ -15,6 +15,7 @@ import (
 	"gallery/internal/incident"
 	"gallery/internal/obs"
 	"gallery/internal/obs/httpmw"
+	"gallery/internal/obs/profile"
 	"gallery/internal/relstore"
 	"gallery/internal/rules"
 	"gallery/internal/slo"
@@ -70,7 +71,8 @@ func newAuthHarness(t *testing.T) *authHarness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm, SLO: sloSvc, Incidents: rec})
+	srv := NewWith(reg, repo, eng, Options{Obs: o, Tenants: tm, SLO: sloSvc, Incidents: rec,
+		Profiles: profile.NewFleet(0)})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	t.Cleanup(srv.Close)

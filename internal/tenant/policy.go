@@ -102,7 +102,7 @@ func (m *Manager) ResolveRequest(r *http.Request) (Identity, bool) {
 //	reader     all GETs; predict, search, drift/skew analyses, fleet health
 //	publisher  model/instance lifecycle: register, evolve, deprecate,
 //	           upload, promote, deps, metrics, health ingest, audit/trace
-//	           ingest
+//	           ingest, profile-summary ingest
 //	operator   rules (commit/select) and /v1/tenants administration
 func Classify(method, path string) (need Role, mutation bool) {
 	if method == http.MethodGet || method == http.MethodHead {
